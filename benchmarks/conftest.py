@@ -1,0 +1,31 @@
+"""Shared fixtures for the benchmark harness.
+
+`pytest benchmarks/ --benchmark-only` regenerates every table and figure of
+the paper. The full 14-application analysis runs once per session (a few
+minutes); individual benchmarks then time the interesting components
+(candidate search, CAD stages, table assembly) against the cached analyses
+and print the regenerated tables so runs double as experiment reports.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def suite():
+    """All 14 application analyses (compiled, profiled, searched, implemented)."""
+    from repro.experiments import analyze_suite
+
+    return analyze_suite()
+
+
+@pytest.fixture(scope="session")
+def suite_by_name(suite):
+    return {a.name: a for a in suite}
+
+
+def print_report(title: str, body: str) -> None:
+    print()
+    print(f"==== {title} " + "=" * max(0, 60 - len(title)))
+    print(body)

@@ -1,0 +1,77 @@
+"""Ablation A1: the @50pS3L pruning filter on vs. off.
+
+Reproduces the role of reference [9]: pruning must cut identification work
+dramatically while keeping most of the achievable speedup (the paper
+quotes two orders of magnitude runtime reduction for ~1/4 of the speedup
+on full SPEC-sized programs; our scaled-down applications show the same
+direction with smaller magnitudes).
+"""
+
+import pytest
+
+from conftest import print_report
+from repro.ise import CandidateSearch
+from repro.ise.pruning import NO_PRUNING, PruningFilter
+from repro.util.tables import Table
+from repro.woolcano import WoolcanoMachine
+
+
+def test_pruning_tradeoff_table(benchmark, suite):
+    machine = WoolcanoMachine()
+
+    def build():
+        rows = []
+        for a in suite:
+            rows.append(
+                (
+                    a.name,
+                    len(a.search_pruned.pruned_blocks),
+                    a.search_pruned.pruned_block_instructions,
+                    a.compiled.compilation.instructions,
+                    a.asip_max.ratio,
+                    a.asip_pruned.ratio,
+                    a.pruning_efficiency,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    table = Table(
+        columns=["App", "blk", "ins", "total ins", "ASIP full", "ASIP pruned", "effic"],
+        title="Ablation A1: pruning on vs off",
+    )
+    for name, blk, ins, total, full, pruned, effic in rows:
+        table.add_row(
+            [name, blk, ins, total, f"{full:.2f}", f"{pruned:.2f}", f"{effic:.2f}"]
+        )
+    print_report("Ablation A1", table.render())
+
+    # Pruning reduces the bitcode passed to identification ...
+    for name, blk, ins, total, full, pruned, effic in rows:
+        assert ins < total
+        assert blk <= 3
+        # ... and never *increases* the speedup.
+        assert pruned <= full + 1e-6
+    # On average most of the speedup survives pruning.
+    avg_keep = sum(p / f for _, _, _, _, f, p, _ in rows if f > 0) / len(rows)
+    assert avg_keep > 0.5
+
+
+def test_identification_time_reduction(benchmark, suite_by_name):
+    """Pruned search must be faster than unpruned search on a large app."""
+    analysis = suite_by_name["470.lbm"]
+    module = analysis.compiled.module
+    profile = analysis.train_profile
+
+    def pruned_search():
+        return CandidateSearch(pruning=PruningFilter()).run(module, profile)
+
+    result = benchmark(pruned_search)
+    full = CandidateSearch(pruning=NO_PRUNING, min_total_cycles_saved=0.0).run(
+        module, profile
+    )
+    # Pruning reduces the number of blocks analysed.
+    executed_blocks = sum(
+        1 for p in profile.blocks.values() if p.count > 0
+    )
+    assert len(result.pruned_blocks) < executed_blocks

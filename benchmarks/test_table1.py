@@ -1,0 +1,60 @@
+"""Benchmark + regeneration of Table I (application characterization).
+
+Prints the full regenerated table and benchmarks the two measured
+components behind it: compiling an application to bitcode (the paper's
+"real [s]" column measures llvm-gcc the same way) and executing it on the
+profiling VM.
+"""
+
+import pytest
+
+from conftest import print_report
+from repro.apps import compile_app, get_app
+from repro.experiments.table1 import Table1, row_for
+
+
+def test_generate_table1(benchmark, suite):
+    """Assemble Table I from the suite analyses (shape assertions included)."""
+
+    def build():
+        return Table1(rows=[row_for(a) for a in suite])
+
+    table = benchmark(build)
+    print_report("Table I (regenerated)", table.render())
+
+    avg_s = table.averages("scientific")
+    avg_e = table.averages("embedded")
+    # Headline shapes from the paper:
+    # scientific apps are larger ...
+    assert avg_s["loc"] > avg_e["loc"]
+    assert avg_s["instructions"] > avg_e["instructions"]
+    # ... VM overhead is small for both domains ...
+    assert 0.9 < avg_e["vm_ratio"] < 1.15
+    assert 0.9 < avg_s["vm_ratio"] < 1.35
+    # ... embedded apps promise larger ASIP speedups ...
+    assert avg_e["asip_ratio"] > avg_s["asip_ratio"]
+    assert avg_s["asip_ratio"] > 1.0
+    # ... and kernels obey the Pareto principle (>=90% time, small code).
+    assert avg_s["kernel_freq_pct"] >= 90.0
+    assert avg_e["kernel_freq_pct"] >= 90.0
+    assert avg_s["kernel_size_pct"] < 60.0
+
+
+def test_compile_to_bitcode_fft(benchmark):
+    """The 'Compilation to Bitcode / real' measurement for one app."""
+    spec = get_app("fft")
+    result = benchmark.pedantic(
+        lambda: compile_app(spec), rounds=3, iterations=1, warmup_rounds=1
+    )
+    assert result.compilation.instructions > 100
+
+
+def test_vm_profiling_run_sor(benchmark):
+    """VM execution with block profiling (source of the VM column)."""
+    compiled = compile_app(get_app("sor"))
+
+    def run():
+        return compiled.run("small")
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.profile.total_block_executions > 0

@@ -1,0 +1,44 @@
+"""Benchmark + regeneration of Table IV (cache x faster-CAD extrapolation)."""
+
+import math
+
+import pytest
+
+from conftest import print_report
+from repro.experiments.table4 import generate_table4
+from repro.util.timefmt import format_hhmmss
+
+
+def test_generate_table4(benchmark, suite):
+    table = benchmark.pedantic(
+        lambda: generate_table4(trials=8), rounds=1, iterations=1
+    )
+    print_report("Table IV (regenerated)", table.render())
+
+    grid = table.grid
+    base = grid.at(0, 0)
+    assert math.isfinite(base)
+
+    # Monotone decrease along both axes.
+    for speedup in grid.cad_speedups:
+        col = [grid.at(h, speedup) for h in grid.cache_hit_rates]
+        assert col == sorted(col, reverse=True)
+    for hit in grid.cache_hit_rates:
+        row = [grid.at(hit, s) for s in grid.cad_speedups]
+        assert row == sorted(row, reverse=True)
+
+    # The paper's headline: 30% cache hits + 30% faster CAD cuts the
+    # average embedded break-even time roughly in half (1.94x).
+    combo = grid.at(30, 30)
+    improvement = base / combo
+    print(
+        f"break-even at 0/0: {format_hhmmss(base)}; at 30/30: "
+        f"{format_hhmmss(combo)} -> {improvement:.2f}x (paper: 1.94x)"
+    )
+    assert 1.5 < improvement < 2.6
+
+    # CAD speedup columns scale (roughly) linearly; cache rows do NOT,
+    # because break-even depends on block frequencies ("these values do
+    # not scale linearly", Section VI-C).
+    lin = grid.at(0, 90)
+    assert lin == pytest.approx(base * 0.1, rel=0.35)

@@ -1,0 +1,31 @@
+"""repro — Just-in-Time Instruction Set Extension, reproduced in Python.
+
+An executable reproduction of Grad & Plessl, "Just-in-time Instruction Set
+Extension — Feasibility and Limitations for an FPGA-based Reconfigurable
+ASIP Architecture" (RAW/IPDPS 2011): the complete tool flow from C-like
+source through a profiling VM, custom-instruction identification (MAXMISO +
+@50pS3L pruning), PivPav-style estimation and VHDL generation, a calibrated
+FPGA CAD flow, down to partial bitstreams and break-even analysis on a
+Woolcano machine model.
+
+Start with :mod:`repro.experiments` (regenerates the paper's tables),
+:mod:`repro.core` (the JIT ASIP specialization process), or the CLI:
+``python -m repro --help``. See README.md / DESIGN.md / EXPERIMENTS.md.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "apps",
+    "core",
+    "experiments",
+    "fpga",
+    "frontend",
+    "ir",
+    "ise",
+    "pivpav",
+    "profiling",
+    "util",
+    "vm",
+    "woolcano",
+]

@@ -1,0 +1,33 @@
+"""The benchmark application suite.
+
+Fourteen MiniC applications mirroring the paper's benchmark selection:
+
+- **scientific** (SPEC2000/2006 stand-ins): 164.gzip, 179.art, 183.equake,
+  188.ammp, 429.mcf, 433.milc, 444.namd, 458.sjeng, 470.lbm, 473.astar;
+- **embedded** (MiBench/SciMark2 stand-ins): adpcm, fft, sor, whetstone.
+
+Each implements the characteristic computational kernel of its namesake at
+laptop scale (see DESIGN.md, substitution table). Applications read their
+problem size and data seed through the ``dataset_size()`` /
+``dataset_seed()`` intrinsics so one compiled module can be profiled under
+several data sets (required by the coverage methodology of Section IV-C).
+"""
+
+from repro.apps.base import AppSpec, DatasetSpec, CompiledApp, compile_app
+from repro.apps.registry import (
+    ALL_APPS,
+    EMBEDDED_APPS,
+    SCIENTIFIC_APPS,
+    get_app,
+)
+
+__all__ = [
+    "AppSpec",
+    "DatasetSpec",
+    "CompiledApp",
+    "compile_app",
+    "ALL_APPS",
+    "EMBEDDED_APPS",
+    "SCIENTIFIC_APPS",
+    "get_app",
+]

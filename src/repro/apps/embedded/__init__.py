@@ -1,0 +1,10 @@
+"""Embedded benchmark applications (MiBench / SciMark2 stand-ins)."""
+
+from repro.apps.embedded.adpcm import APP as ADPCM
+from repro.apps.embedded.fft import APP as FFT
+from repro.apps.embedded.sor import APP as SOR
+from repro.apps.embedded.whetstone import APP as WHETSTONE
+
+EMBEDDED = [ADPCM, FFT, SOR, WHETSTONE]
+
+__all__ = ["ADPCM", "FFT", "SOR", "WHETSTONE", "EMBEDDED"]

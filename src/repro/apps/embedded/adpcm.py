@@ -1,0 +1,133 @@
+"""adpcm — IMA ADPCM speech codec (MiBench rawcaudio/rawdaudio stand-in).
+
+Integer-only encode/decode of a synthetic speech-like waveform. The codec
+inner loop interleaves table lookups (hardware-infeasible loads) with short
+arithmetic clusters, which keeps custom-instruction candidates small — the
+paper reports only a 1.21x ASIP ratio for adpcm.
+"""
+
+from repro.apps.base import AppSpec, DatasetSpec
+
+_CODEC = """\
+// IMA ADPCM step tables
+int step_table[89] = {
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37,
+    41, 45, 50, 55, 60, 66, 73, 80, 88, 97, 107, 118, 130, 143, 157, 173,
+    190, 209, 230, 253, 279, 307, 337, 371, 408, 449, 494, 544, 598, 658,
+    724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+    2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894,
+    6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899, 15289,
+    16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767
+};
+int index_table[16] = {
+    -1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8
+};
+
+int enc_predicted = 0;
+int enc_index = 0;
+int dec_predicted = 0;
+int dec_index = 0;
+
+int clamp(int v, int lo, int hi) {
+    if (v < lo) return lo;
+    if (v > hi) return hi;
+    return v;
+}
+
+int adpcm_encode_sample(int sample) {
+    int step = step_table[enc_index];
+    int diff = sample - enc_predicted;
+    int code = 0;
+    if (diff < 0) { code = 8; diff = -diff; }
+    // 3-bit magnitude quantization against step, step/2, step/4
+    int delta = step >> 3;
+    if (diff >= step) { code = code | 4; diff = diff - step; delta = delta + step; }
+    step = step >> 1;
+    if (diff >= step) { code = code | 2; diff = diff - step; delta = delta + step; }
+    step = step >> 1;
+    if (diff >= step) { code = code | 1; delta = delta + step; }
+    if ((code & 8) != 0) enc_predicted = enc_predicted - delta;
+    else enc_predicted = enc_predicted + delta;
+    enc_predicted = clamp(enc_predicted, -32768, 32767);
+    enc_index = clamp(enc_index + index_table[code], 0, 88);
+    return code;
+}
+
+int adpcm_decode_sample(int code) {
+    int step = step_table[dec_index];
+    int delta = step >> 3;
+    if ((code & 4) != 0) delta = delta + step;
+    if ((code & 2) != 0) delta = delta + (step >> 1);
+    if ((code & 1) != 0) delta = delta + (step >> 2);
+    if ((code & 8) != 0) dec_predicted = dec_predicted - delta;
+    else dec_predicted = dec_predicted + delta;
+    dec_predicted = clamp(dec_predicted, -32768, 32767);
+    dec_index = clamp(dec_index + index_table[code], 0, 88);
+    return dec_predicted;
+}
+
+void codec_reset() {
+    enc_predicted = 0; enc_index = 0;
+    dec_predicted = 0; dec_index = 0;
+}
+"""
+
+_MAIN = """\
+int waveform_state = 0;
+
+// Synthetic speech-ish signal: sum of slow and fast sawtooth + noise.
+int next_sample(int t) {
+    int slow = (t % 400) * 100 - 20000;
+    int fast = (t % 23) * 900 - 10000;
+    int noise = (rand() % 1201) - 600;
+    int s = slow / 2 + fast / 3 + noise;
+    if (s > 32767) s = 32767;
+    if (s < -32768) s = -32768;
+    return s;
+}
+
+// Dead in every profiled run: only reached for invalid input sizes.
+int report_error(int code) {
+    print_i32(-1);
+    print_i32(code);
+    return -1;
+}
+
+int main() {
+    int n = dataset_size();
+    int seed = dataset_seed();
+    if (n <= 0) return report_error(1);
+    if (n > 60000) n = 60000;
+    srand(seed);
+    codec_reset();
+    long err_acc = 0;
+    int max_err = 0;
+    for (int t = 0; t < n; t++) {
+        int s = next_sample(t);
+        int code = adpcm_encode_sample(s);
+        int r = adpcm_decode_sample(code);
+        int e = s - r;
+        if (e < 0) e = -e;
+        err_acc += (long)e;
+        if (e > max_err) max_err = e;
+    }
+    print_i64(err_acc / (long)n);
+    print_i32(max_err);
+    return 0;
+}
+"""
+
+APP = AppSpec(
+    name="adpcm",
+    domain="embedded",
+    description="IMA ADPCM codec over a synthetic speech signal (MiBench)",
+    sources=(
+        ("codec.c", _CODEC),
+        ("main.c", _MAIN),
+    ),
+    datasets=(
+        DatasetSpec("train", size=6000, seed=7),
+        DatasetSpec("small", size=3000, seed=11),
+        DatasetSpec("large", size=10000, seed=13),
+    ),
+)

@@ -1,0 +1,79 @@
+"""sor — Jacobi/SOR relaxation (SciMark2 stand-in).
+
+Successive over-relaxation sweep over a 2-D grid. The five-point stencil
+update is one fat floating-point block executed n^2 times per sweep — the
+smallest, most kernel-concentrated application in the suite (paper: 74 LOC,
+19 blocks, 6.93x upper-bound ASIP ratio from just 2 candidates).
+"""
+
+from repro.apps.base import AppSpec, DatasetSpec
+
+_SOR = """\
+double grid[4096];  // up to 64 x 64
+
+int idx(int i, int j, int m) { return i * m + j; }
+
+void init_grid(int m, int seed) {
+    srand(seed);
+    for (int i = 0; i < m; i++) {
+        for (int j = 0; j < m; j++) {
+            grid[idx(i, j, m)] = 0.001 * (double)(rand() % 1000);
+        }
+    }
+}
+
+double sor_sweep(int m, double omega) {
+    double of4 = omega * 0.25;
+    double om1 = 1.0 - omega;
+    double change = 0.0;
+    for (int i = 1; i < m - 1; i++) {
+        for (int j = 1; j < m - 1; j++) {
+            int c = idx(i, j, m);
+            double v = of4 * (grid[c - m] + grid[c + m] + grid[c - 1] + grid[c + 1])
+                     + om1 * grid[c];
+            double d = v - grid[c];
+            change += d * d;
+            grid[c] = v;
+        }
+    }
+    return change;
+}
+
+// Never executed in profiled runs (residual check disabled by default).
+double residual_norm(int m) {
+    double acc = 0.0;
+    for (int i = 1; i < m - 1; i++)
+        for (int j = 1; j < m - 1; j++) {
+            int c = idx(i, j, m);
+            double r = grid[c] - 0.25 * (grid[c - m] + grid[c + m] + grid[c - 1] + grid[c + 1]);
+            acc += r * r;
+        }
+    return sqrt(acc);
+}
+
+int main() {
+    int m = dataset_size();
+    if (m < 8) m = 8;
+    if (m > 64) m = 64;
+    init_grid(m, dataset_seed());
+    double total = 0.0;
+    for (int sweep = 0; sweep < 40; sweep++) {
+        total += sor_sweep(m, 1.25);
+    }
+    if (m < 0) print_f64(residual_norm(m));
+    print_f64(total);
+    return 0;
+}
+"""
+
+APP = AppSpec(
+    name="sor",
+    domain="embedded",
+    description="Successive over-relaxation 5-point stencil (SciMark2)",
+    sources=(("sor.c", _SOR),),
+    datasets=(
+        DatasetSpec("train", size=28, seed=3),
+        DatasetSpec("small", size=12, seed=5),
+        DatasetSpec("large", size=48, seed=7),
+    ),
+)

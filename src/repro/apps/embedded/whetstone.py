@@ -1,0 +1,136 @@
+"""whetstone — the classic synthetic FP benchmark.
+
+Faithful to the structure of the original: numbered modules exercising
+simple FP identifiers (N1), array elements (N2), conditional jumps (N5),
+integer arithmetic (N6) and trigonometric/transcendental functions (N7/N8).
+Modules N1/N2 are long chains of dependent FP adds/subtracts/multiplies in
+single blocks — on an FPU-less PowerPC-405 each runs hundreds of soft-float
+cycles that a fabric datapath collapses to a handful, which is why the
+paper measures its largest upper-bound ASIP ratio here (17.78x).
+"""
+
+from repro.apps.base import AppSpec, DatasetSpec
+
+_WHETSTONE = """\
+double e1[4];
+double t = 0.499975;
+double t1 = 0.50025;
+double t2 = 2.0;
+
+double x1v; double x2v; double x3v; double x4v;
+double xx; double yy; double zz;
+int j6; int k6; int l6;
+
+// Module 1: simple identifiers. The four locals stay in SSA registers, so
+// the loop body is one long feed-forward FP dataflow region — the shape
+// that gives whetstone the paper's largest custom-instruction gains.
+void module1(int n, double tt) {
+    double a = 1.0;
+    double b = -1.0;
+    double c = -1.0;
+    double d = -1.0;
+    double u = 0.031 * tt;
+    double w = 0.017 * tt;
+    double damp = 0.96;
+    for (int i = 0; i < n; i++) {
+        a = ((a + b + c - d) * tt + (b - c) * u + (c + d) * w - (a - d) * u) * damp;
+        b = ((a + b - c + d) * tt - (a + c) * w + (b + d) * u + (a - c) * w) * damp;
+        c = ((a - b + c + d) * tt + (a - d) * u - (b + d) * w + (a + b) * u) * damp;
+        d = ((-a + b + c + d) * tt - (b - c) * u + (a + c) * w - (c - d) * u) * damp;
+    }
+    x1v = a; x2v = b; x3v = c; x4v = d;
+}
+
+// Module 2: array elements.
+void module2(int n) {
+    e1[0] = 1.0; e1[1] = -1.0; e1[2] = -1.0; e1[3] = -1.0;
+    for (int i = 0; i < n; i++) {
+        e1[0] = (e1[0] + e1[1] + e1[2] - e1[3]) * t;
+        e1[1] = (e1[0] + e1[1] - e1[2] + e1[3]) * t;
+        e1[2] = (e1[0] - e1[1] + e1[2] + e1[3]) * t;
+        e1[3] = (-e1[0] + e1[1] + e1[2] + e1[3]) * t;
+    }
+}
+
+// Module 5: conditional jumps.
+void module5(int n) {
+    j6 = 1;
+    for (int i = 0; i < n; i++) {
+        if (j6 == 1) j6 = 2; else j6 = 3;
+        if (j6 > 2) j6 = 0; else j6 = 1;
+        if (j6 < 1) j6 = 1; else j6 = 0;
+    }
+}
+
+// Module 6: integer arithmetic.
+void module6(int n) {
+    j6 = 1; k6 = 2; l6 = 3;
+    for (int i = 0; i < n; i++) {
+        j6 = j6 * (k6 - j6) * (l6 - k6);
+        k6 = l6 * k6 - (l6 - j6) * k6;
+        l6 = (l6 - k6) * (k6 + j6);
+        e1[l6 - 2 & 3] = (double)(j6 + k6 + l6);
+        e1[k6 - 2 & 3] = (double)(j6 * k6 * l6);
+    }
+}
+
+// Module 7: trigonometric functions.
+void module7(int n) {
+    xx = 0.5; yy = 0.5;
+    for (int i = 0; i < n; i++) {
+        xx = t * atan(t2 * sin(xx) * cos(xx) / (cos(xx + yy) + cos(xx - yy) - 1.0));
+        yy = t * atan(t2 * sin(yy) * cos(yy) / (cos(xx + yy) + cos(xx - yy) - 1.0));
+    }
+}
+
+// Module 8: transcendental functions.
+void module8(int n) {
+    xx = 0.75;
+    for (int i = 0; i < n; i++) {
+        xx = sqrt(exp(log(xx) / t1));
+    }
+}
+
+// Dead: self-check executed only when the loop count is non-positive.
+int self_check() {
+    if (x1v != x1v) return 1;
+    if (e1[0] != e1[0]) return 2;
+    return 0;
+}
+
+int main() {
+    int scale = dataset_size();
+    if (scale < 1) { print_i32(self_check()); return 1; }
+    if (scale > 64) scale = 64;
+    srand(dataset_seed());
+    int n1 = scale * 380;
+    int n2 = scale * 300;
+    int n5 = scale * 40;
+    int n6 = scale * 60;
+    int n7 = scale * 1;
+    int n8 = scale * 2;
+    module1(n1, t);
+    module2(n2);
+    module5(n5);
+    module6(n6);
+    module7(n7);
+    module8(n8);
+    print_f64(x1v + x2v + x3v + x4v);
+    print_f64(e1[0] + e1[1] + e1[2] + e1[3]);
+    print_i32(j6 + k6 + l6);
+    print_f64(xx + yy);
+    return 0;
+}
+"""
+
+APP = AppSpec(
+    name="whetstone",
+    domain="embedded",
+    description="Whetstone synthetic FP benchmark (classic modules)",
+    sources=(("whetstone.c", _WHETSTONE),),
+    datasets=(
+        DatasetSpec("train", size=24, seed=1),
+        DatasetSpec("small", size=8, seed=2),
+        DatasetSpec("large", size=48, seed=3),
+    ),
+)

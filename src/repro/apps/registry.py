@@ -1,0 +1,33 @@
+"""Application registry: the paper's benchmark table, in order."""
+
+from __future__ import annotations
+
+from repro.apps.base import AppSpec
+
+
+def _load_scientific() -> list[AppSpec]:
+    from repro.apps.scientific import SCIENTIFIC
+
+    return list(SCIENTIFIC)
+
+
+def _load_embedded() -> list[AppSpec]:
+    from repro.apps.embedded import EMBEDDED
+
+    return list(EMBEDDED)
+
+
+SCIENTIFIC_APPS: list[AppSpec] = _load_scientific()
+EMBEDDED_APPS: list[AppSpec] = _load_embedded()
+ALL_APPS: list[AppSpec] = SCIENTIFIC_APPS + EMBEDDED_APPS
+
+_BY_NAME = {app.name: app for app in ALL_APPS}
+
+
+def get_app(name: str) -> AppSpec:
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown application {name!r}; available: {sorted(_BY_NAME)}"
+        ) from None

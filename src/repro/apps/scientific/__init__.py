@@ -1,0 +1,28 @@
+"""Scientific benchmark applications (SPEC2000/2006 stand-ins)."""
+
+from repro.apps.scientific.gzip_164 import APP as GZIP
+from repro.apps.scientific.art_179 import APP as ART
+from repro.apps.scientific.equake_183 import APP as EQUAKE
+from repro.apps.scientific.ammp_188 import APP as AMMP
+from repro.apps.scientific.mcf_429 import APP as MCF
+from repro.apps.scientific.milc_433 import APP as MILC
+from repro.apps.scientific.namd_444 import APP as NAMD
+from repro.apps.scientific.sjeng_458 import APP as SJENG
+from repro.apps.scientific.lbm_470 import APP as LBM
+from repro.apps.scientific.astar_473 import APP as ASTAR
+
+SCIENTIFIC = [GZIP, ART, EQUAKE, AMMP, MCF, MILC, NAMD, SJENG, LBM, ASTAR]
+
+__all__ = [
+    "GZIP",
+    "ART",
+    "EQUAKE",
+    "AMMP",
+    "MCF",
+    "MILC",
+    "NAMD",
+    "SJENG",
+    "LBM",
+    "ASTAR",
+    "SCIENTIFIC",
+]

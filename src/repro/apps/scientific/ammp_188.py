@@ -1,0 +1,138 @@
+"""188.ammp — molecular dynamics (SPEC2000 stand-in).
+
+Lennard-Jones + Coulomb pair forces with a cutoff inside an O(N^2) loop,
+plus velocity-Verlet integration. The non-bonded force expression is a
+large FP dataflow tree, giving the best upper-bound ASIP ratio among the
+paper's scientific applications (3.44x).
+"""
+
+from repro.apps.base import AppSpec, DatasetSpec
+from repro.apps.scientific import extras as EXTRAS
+
+_FORCES = """\
+double px[256]; double py[256]; double pz[256];
+double vx[256]; double vy[256]; double vz[256];
+double fx[256]; double fy[256]; double fz[256];
+double charge[256];
+int n_atoms = 0;
+double potential = 0.0;
+
+void clear_forces() {
+    for (int i = 0; i < n_atoms; i++) { fx[i] = 0.0; fy[i] = 0.0; fz[i] = 0.0; }
+}
+
+// Non-bonded pair forces (LJ 6-12 + Coulomb) with cutoff.
+void nonbond_forces(double cutoff2) {
+    potential = 0.0;
+    for (int i = 0; i < n_atoms; i++) {
+        for (int j = i + 1; j < n_atoms; j++) {
+            double dx = px[i] - px[j];
+            double dy = py[i] - py[j];
+            double dz = pz[i] - pz[j];
+            double r2 = dx * dx + dy * dy + dz * dz;
+            if (r2 < cutoff2) {
+                double inv_r2 = 1.0 / (r2 + 0.0001);
+                double inv_r6 = inv_r2 * inv_r2 * inv_r2;
+                double lj = inv_r6 * (inv_r6 - 0.5);
+                double qq = charge[i] * charge[j] * sqrt(inv_r2);
+                double s = (12.0 * lj + qq) * inv_r2;
+                double sx = s * dx;
+                double sy = s * dy;
+                double sz = s * dz;
+                fx[i] += sx; fy[i] += sy; fz[i] += sz;
+                fx[j] -= sx; fy[j] -= sy; fz[j] -= sz;
+                potential += lj + qq;
+            }
+        }
+    }
+}
+
+void integrate(double dt) {
+    for (int i = 0; i < n_atoms; i++) {
+        vx[i] = (vx[i] + fx[i] * dt) * 0.999;
+        vy[i] = (vy[i] + fy[i] * dt) * 0.999;
+        vz[i] = (vz[i] + fz[i] * dt) * 0.999;
+        px[i] += vx[i] * dt;
+        py[i] += vy[i] * dt;
+        pz[i] += vz[i] * dt;
+    }
+}
+
+double kinetic_energy() {
+    double ke = 0.0;
+    for (int i = 0; i < n_atoms; i++) {
+        ke += vx[i] * vx[i] + vy[i] * vy[i] + vz[i] * vz[i];
+    }
+    return 0.5 * ke;
+}
+"""
+
+_SETUP = """\
+void init_atoms(int n, int seed) {
+    srand(seed);
+    n_atoms = n;
+    int side = 1;
+    while (side * side * side < n) side++;
+    for (int i = 0; i < n; i++) {
+        int gx = i % side;
+        int gy = (i / side) % side;
+        int gz = i / (side * side);
+        px[i] = (double)gx * 1.2 + 0.001 * (double)(rand() % 100);
+        py[i] = (double)gy * 1.2 + 0.001 * (double)(rand() % 100);
+        pz[i] = (double)gz * 1.2 + 0.001 * (double)(rand() % 100);
+        vx[i] = 0.0; vy[i] = 0.0; vz[i] = 0.0;
+        charge[i] = 0.1;
+        if (i % 2 == 0) charge[i] = -0.1;
+    }
+}
+
+// Dead: trajectory output (file I/O disabled in the benchmark harness).
+void write_frame(int step) {
+    print_i32(step);
+    for (int i = 0; i < 4; i++) print_f64(px[i]);
+}
+
+// Dead: alternative O(N) cell-list path, not selected for these sizes.
+void cell_list_forces(double cutoff2) {
+    // falls back to the quadratic kernel on tiny systems
+    nonbond_forces(cutoff2);
+}
+
+int main() {
+    int n = dataset_size();
+    if (n < 16) n = 16;
+    if (n > 256) n = 256;
+    init_atoms(n, dataset_seed());
+    build_bonds();
+    int steps = 18;
+    double dt = 0.004;
+    double sum_pe = 0.0;
+    for (int s = 0; s < steps; s++) {
+        clear_forces();
+        nonbond_forces(6.25);
+        integrate(dt);
+        sum_pe += potential;
+        if (s < -1) write_frame(s);
+    }
+    print_f64(sum_pe / (double)steps + bond_energy());
+    print_f64(kinetic_energy());
+    if (n < 0) print_i32(shake_constraints(0.001));
+    return 0;
+}
+"""
+
+APP = AppSpec(
+    name="188.ammp",
+    domain="scientific",
+    description="Molecular dynamics: LJ+Coulomb pair forces, velocity Verlet",
+    sources=(
+        ("forces.c", _FORCES),
+        ("bonds.c", EXTRAS.AMMP_BONDS),
+        ("setup.c", _SETUP),
+    ),
+    datasets=(
+        DatasetSpec("train", size=64, seed=53),
+        DatasetSpec("small", size=32, seed=59),
+        DatasetSpec("large", size=96, seed=61),
+    ),
+)

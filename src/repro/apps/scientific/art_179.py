@@ -1,0 +1,169 @@
+"""179.art — Adaptive Resonance Theory 2 neural network (SPEC2000 stand-in).
+
+Image recognition by neural resonance: an F1 feature layer feeds an F2
+category layer through bottom-up weights; a winner-take-all search and a
+vigilance test drive weight adaptation. FP-heavy with a concentrated match
+loop — one of the two SPEC applications the paper's VM ran *faster* than
+native (ratio 0.94), with a 1.46x upper-bound ASIP ratio.
+"""
+
+from repro.apps.base import AppSpec, DatasetSpec
+from repro.apps.scientific import extras as EXTRAS
+
+_NETWORK = """\
+double f1_act[64];        // F1 layer activations (feature vector)
+double bu_weights[4096];  // bottom-up weights: 64 categories x 64 features
+double td_weights[4096];  // top-down weights
+double category_act[64];
+int committed[64];
+
+int N_FEATURES = 64;
+int N_CATEGORIES = 64;
+
+void init_weights(int seed) {
+    srand(seed);
+    for (int j = 0; j < N_CATEGORIES; j++) {
+        committed[j] = 0;
+        for (int i = 0; i < N_FEATURES; i++) {
+            bu_weights[j * N_FEATURES + i] = 1.0 / (1.0 + (double)N_FEATURES);
+            td_weights[j * N_FEATURES + i] = 1.0;
+        }
+    }
+}
+
+// Bottom-up activation of every category (the hot loop).
+void compute_activations() {
+    for (int j = 0; j < N_CATEGORIES; j++) {
+        double sum = 0.0;
+        int base = j * N_FEATURES;
+        for (int i = 0; i < N_FEATURES; i++) {
+            sum += bu_weights[base + i] * f1_act[i];
+        }
+        category_act[j] = sum;
+    }
+}
+
+int find_winner() {
+    int best = 0;
+    double best_act = category_act[0];
+    for (int j = 1; j < N_CATEGORIES; j++) {
+        if (category_act[j] > best_act) {
+            best_act = category_act[j];
+            best = j;
+        }
+    }
+    return best;
+}
+
+double vigilance_match(int winner) {
+    double num = 0.0;
+    double den = 0.000001;
+    int base = winner * N_FEATURES;
+    for (int i = 0; i < N_FEATURES; i++) {
+        double m = td_weights[base + i] * f1_act[i];
+        double lo = m;
+        if (f1_act[i] < m) lo = f1_act[i];
+        num += lo;
+        den += f1_act[i];
+    }
+    return num / den;
+}
+
+void adapt(int winner, double rate) {
+    int base = winner * N_FEATURES;
+    for (int i = 0; i < N_FEATURES; i++) {
+        double m = td_weights[base + i] * f1_act[i];
+        double lo = m;
+        if (f1_act[i] < m) lo = f1_act[i];
+        td_weights[base + i] = rate * lo + (1.0 - rate) * td_weights[base + i];
+        bu_weights[base + i] = td_weights[base + i]
+            / (0.5 + td_weights[base + i] * (double)N_FEATURES * 0.01);
+    }
+    committed[winner] = 1;
+}
+"""
+
+_MAIN = """\
+double input_img[64];
+
+void make_pattern(int k, int seed) {
+    srand(seed * 1000 + k * 31);
+    int kind = k % 5;
+    for (int i = 0; i < 64; i++) {
+        double base = 0.0;
+        if ((i / 8 + i % 8) % 5 == kind) base = 0.9;
+        input_img[i] = base + 0.02 * (double)(rand() % 100) * 0.01;
+    }
+}
+
+void normalize_input() {
+    double norm = 0.000001;
+    for (int i = 0; i < 64; i++) norm += input_img[i] * input_img[i];
+    norm = sqrt(norm);
+    for (int i = 0; i < 64; i++) f1_act[i] = input_img[i] / norm;
+}
+
+// Dead: weight matrix dump for debugging.
+void dump_weights() {
+    for (int j = 0; j < 8; j++) print_f64(bu_weights[j]);
+}
+
+int scan_image(int n_patterns, double vigilance) {
+    int recognized = 0;
+    for (int k = 0; k < n_patterns; k++) {
+        make_pattern(k, dataset_seed());
+        normalize_input();
+        compute_activations();
+        // search with reset: try winners until vigilance passes
+        int tries = 0;
+        while (tries < 8) {
+            int winner = find_winner();
+            double match = vigilance_match(winner);
+            if (match >= vigilance) {
+                adapt(winner, 0.6);
+                if (committed[winner] == 1) recognized++;
+                break;
+            }
+            category_act[winner] = -1.0;  // reset this category
+            tries++;
+        }
+    }
+    return recognized;
+}
+
+int main() {
+    int n = dataset_size();
+    if (n < 8) n = 8;
+    if (n > 400) n = 400;
+    init_weights(dataset_seed());
+    int hits = scan_image(n, 0.7);
+    make_pattern(0, dataset_seed());
+    compute_pattern_stats();
+    if (n < 0) {
+        dump_weights();
+        print_i32(train_epoch(0));
+        decay_weights(0.01);
+    }
+    print_i32(hits);
+    double checksum = 0.0;
+    for (int j = 0; j < 64; j++) checksum += category_act[j];
+    print_f64(checksum);
+    return 0;
+}
+"""
+
+APP = AppSpec(
+    name="179.art",
+    domain="scientific",
+    description="ART-2 neural network image recognition (SPEC2000 art)",
+    sources=(
+        ("network.c", _NETWORK),
+        ("training.c", EXTRAS.ART_TRAINING),
+        ("scan.c", _MAIN),
+    ),
+    datasets=(
+        DatasetSpec("train", size=24, seed=17),
+        DatasetSpec("small", size=10, seed=19),
+        DatasetSpec("large", size=40, seed=23),
+    ),
+)

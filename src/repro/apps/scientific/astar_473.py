@@ -1,0 +1,180 @@
+"""473.astar — A* pathfinding (SPEC2006 stand-in).
+
+Grid pathfinding with an array-backed binary heap for the open list and an
+octile-distance heuristic. Integer, branchy, memory-bound — the second
+application where the paper's VM beat native (0.98), with a 1.21x ASIP
+upper bound.
+"""
+
+from repro.apps.base import AppSpec, DatasetSpec
+from repro.apps.scientific import extras as EXTRAS
+
+_GRID = """\
+int terrain[16384];    // up to 128x128, cost per cell (0 = wall)
+int g_score[16384];
+int status[16384];     // 0 unknown, 1 open, 2 closed
+int came_from[16384];
+int GW = 0;
+int GH = 0;
+int INF2 = 1000000000;
+
+void make_terrain(int w, int h, int seed) {
+    srand(seed);
+    GW = w; GH = h;
+    for (int i = 0; i < w * h; i++) {
+        int r = rand() % 100;
+        int cost = 10;
+        if (r < 18) cost = 0;          // wall
+        else if (r < 40) cost = 24;    // rough
+        terrain[i] = cost;
+    }
+    terrain[0] = 10;
+    terrain[w * h - 1] = 10;
+}
+
+int heuristic(int a, int b) {
+    int ax = a % GW; int ay = a / GW;
+    int bx = b % GW; int by = b / GW;
+    int dx = ax - bx; if (dx < 0) dx = -dx;
+    int dy = ay - by; if (dy < 0) dy = -dy;
+    int lo = dx; if (dy < dx) lo = dy;
+    return 10 * (dx + dy) - 6 * lo;   // octile-ish
+}
+"""
+
+_HEAP = """\
+int heap_node[16384];
+int heap_key[16384];
+int heap_size = 0;
+
+void heap_clear() { heap_size = 0; }
+
+void heap_push(int node, int key) {
+    int i = heap_size;
+    heap_size++;
+    heap_node[i] = node;
+    heap_key[i] = key;
+    while (i > 0) {
+        int parent = (i - 1) / 2;
+        if (heap_key[parent] <= heap_key[i]) break;
+        int tn = heap_node[i]; heap_node[i] = heap_node[parent]; heap_node[parent] = tn;
+        int tk = heap_key[i]; heap_key[i] = heap_key[parent]; heap_key[parent] = tk;
+        i = parent;
+    }
+}
+
+int heap_pop() {
+    int top = heap_node[0];
+    heap_size--;
+    heap_node[0] = heap_node[heap_size];
+    heap_key[0] = heap_key[heap_size];
+    int i = 0;
+    while (1) {
+        int l = 2 * i + 1;
+        int r = 2 * i + 2;
+        int smallest = i;
+        if (l < heap_size && heap_key[l] < heap_key[smallest]) smallest = l;
+        if (r < heap_size && heap_key[r] < heap_key[smallest]) smallest = r;
+        if (smallest == i) break;
+        int tn = heap_node[i]; heap_node[i] = heap_node[smallest]; heap_node[smallest] = tn;
+        int tk = heap_key[i]; heap_key[i] = heap_key[smallest]; heap_key[smallest] = tk;
+        i = smallest;
+    }
+    return top;
+}
+"""
+
+_SEARCH = """\
+int neighbor_dx[8] = {1, -1, 0, 0, 1, 1, -1, -1};
+int neighbor_dy[8] = {0, 0, 1, -1, 1, -1, 1, -1};
+int expanded = 0;
+
+int astar(int start, int goal) {
+    int n = GW * GH;
+    for (int i = 0; i < n; i++) { g_score[i] = INF2; status[i] = 0; came_from[i] = -1; }
+    heap_clear();
+    g_score[start] = 0;
+    heap_push(start, heuristic(start, goal));
+    status[start] = 1;
+    while (heap_size > 0) {
+        int cur = heap_pop();
+        if (status[cur] == 2) continue;
+        status[cur] = 2;
+        expanded++;
+        if (cur == goal) return g_score[cur];
+        int cx = cur % GW;
+        int cy = cur / GW;
+        for (int k = 0; k < 8; k++) {
+            int nx = cx + neighbor_dx[k];
+            int ny = cy + neighbor_dy[k];
+            if (nx < 0 || ny < 0 || nx >= GW || ny >= GH) continue;
+            int nb = ny * GW + nx;
+            if (terrain[nb] == 0 || status[nb] == 2) continue;
+            int step_cost = terrain[nb];
+            if (k >= 4) step_cost = step_cost * 14 / 10;  // diagonal
+            int tentative = g_score[cur] + step_cost;
+            if (tentative < g_score[nb]) {
+                g_score[nb] = tentative;
+                came_from[nb] = cur;
+                heap_push(nb, tentative + heuristic(nb, goal));
+                status[nb] = 1;
+            }
+        }
+    }
+    return -1;
+}
+
+// Dead: path reconstruction printout (only used interactively).
+int print_path(int goal) {
+    int length = 0;
+    int cur = goal;
+    while (cur >= 0 && length < GW * GH) {
+        length++;
+        cur = came_from[cur];
+    }
+    print_i32(length);
+    return length;
+}
+
+int main() {
+    int s = dataset_size();
+    if (s < 16) s = 16;
+    if (s > 128) s = 128;
+    int n_queries = 6;
+    long total = 0;
+    int found = 0;
+    for (int q = 0; q < n_queries; q++) {
+        make_terrain(s, s, dataset_seed() + q);
+        analyze_terrain();
+        int cost = astar(0, s * s - 1);
+        if (cost >= 0) { total += (long)cost; found++; }
+        if (cost < -1) {
+            print_path(s * s - 1);
+            int wp[1];
+            print_i32(smooth_path(s * s - 1, wp));
+            print_i32(weighted_astar(0, s * s - 1, 2));
+        }
+    }
+    print_i32(found);
+    print_i64(total);
+    print_i32(expanded);
+    return 0;
+}
+"""
+
+APP = AppSpec(
+    name="473.astar",
+    domain="scientific",
+    description="A* grid pathfinding with a binary-heap open list",
+    sources=(
+        ("grid.c", _GRID),
+        ("heap.c", _HEAP),
+        ("analysis.c", EXTRAS.ASTAR_ANALYSIS),
+        ("search.c", _SEARCH),
+    ),
+    datasets=(
+        DatasetSpec("train", size=32, seed=139),
+        DatasetSpec("small", size=20, seed=149),
+        DatasetSpec("large", size=56, seed=151),
+    ),
+)

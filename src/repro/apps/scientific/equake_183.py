@@ -1,0 +1,146 @@
+"""183.equake — seismic wave propagation (SPEC2000 stand-in).
+
+Finite-element earthquake simulation reduced to its computational heart:
+a sparse matrix-vector product (CSR stiffness matrix) inside an explicit
+time-integration loop. The paper measures a 2.08x upper-bound ASIP ratio —
+the integration update is a clean FP block, while the matvec is
+load-dominated.
+"""
+
+from repro.apps.base import AppSpec, DatasetSpec
+from repro.apps.scientific import extras as EXTRAS
+
+_SPARSE = """\
+// CSR sparse matrix, up to 1024 nodes x ~8 nonzeros
+int row_start[1025];
+int col_index[8192];
+double values[8192];
+int n_nodes = 0;
+int n_nonzeros = 0;
+
+void build_mesh(int n, int seed) {
+    srand(seed);
+    n_nodes = n;
+    n_nonzeros = 0;
+    for (int i = 0; i < n; i++) {
+        row_start[i] = n_nonzeros;
+        // diagonal
+        col_index[n_nonzeros] = i;
+        values[n_nonzeros] = 4.0 + 0.001 * (double)(rand() % 1000);
+        n_nonzeros++;
+        // neighbours (1-D chain + random long-range coupling)
+        if (i > 0) {
+            col_index[n_nonzeros] = i - 1;
+            values[n_nonzeros] = -1.0 - 0.0005 * (double)(rand() % 1000);
+            n_nonzeros++;
+        }
+        if (i < n - 1) {
+            col_index[n_nonzeros] = i + 1;
+            values[n_nonzeros] = -1.0 - 0.0005 * (double)(rand() % 1000);
+            n_nonzeros++;
+        }
+        int far = rand() % n;
+        if (far != i) {
+            col_index[n_nonzeros] = far;
+            values[n_nonzeros] = -0.1;
+            n_nonzeros++;
+        }
+    }
+    row_start[n] = n_nonzeros;
+}
+
+void spmv(double* x, double* y) {
+    for (int i = 0; i < n_nodes; i++) {
+        double sum = 0.0;
+        int end = row_start[i + 1];
+        for (int k = row_start[i]; k < end; k++) {
+            sum += values[k] * x[col_index[k]];
+        }
+        y[i] = sum;
+    }
+}
+"""
+
+_SIM = """\
+double disp[1024];     // displacement
+double vel[1024];      // velocity
+double acc[1024];      // acceleration
+double force[1024];
+
+void apply_source(int step, int n) {
+    // Ricker-like wavelet at the mesh centre
+    double t = (double)step * 0.01 - 1.0;
+    double a = t * t * 14.0;
+    double amp = (1.0 - 2.0 * a) * exp(-a);
+    force[n / 2] = amp * 50.0;
+}
+
+// The explicit Newmark-style update: a clean FP block per node.
+void time_step(int n, double dt) {
+    spmv(disp, acc);
+    double damp = 0.995;
+    double half_dt2 = 0.5 * dt * dt;
+    for (int i = 0; i < n; i++) {
+        double a = force[i] - acc[i] - 0.12 * vel[i];
+        vel[i] = (vel[i] + a * dt) * damp;
+        disp[i] = disp[i] + vel[i] * dt + a * half_dt2;
+        force[i] = 0.0;
+    }
+}
+
+// Dead: full energy audit, disabled in production runs.
+double total_energy(int n) {
+    double e = 0.0;
+    spmv(disp, acc);
+    for (int i = 0; i < n; i++) {
+        e += 0.5 * vel[i] * vel[i] + 0.5 * disp[i] * acc[i];
+    }
+    return e;
+}
+
+int main() {
+    int n = dataset_size();
+    if (n < 32) n = 32;
+    if (n > 1024) n = 1024;
+    build_mesh(n, dataset_seed());
+    compute_mesh_stats();
+    for (int i = 0; i < n; i++) { disp[i] = 0.0; vel[i] = 0.0; force[i] = 0.0; }
+    int steps = 160;
+    for (int s = 0; s < steps; s++) {
+        apply_source(s, n);
+        time_step(n, 0.01);
+    }
+    if (n < 0) {
+        print_f64(total_energy(n));
+        print_i32(write_checkpoint(0));
+        print_i32(read_checkpoint());
+        print_f64(estimate_damping(0.1, 0.2));
+    }
+    double peak = 0.0;
+    double sum = 0.0;
+    for (int i = 0; i < n; i++) {
+        double d = fabs(disp[i]);
+        if (d > peak) peak = d;
+        sum += d;
+    }
+    print_f64(peak);
+    print_f64(sum);
+    return 0;
+}
+"""
+
+APP = AppSpec(
+    name="183.equake",
+    domain="scientific",
+    description="FEM seismic wave propagation: CSR matvec + explicit integration",
+    sources=(
+        ("sparse.c", _SPARSE),
+        ("mesh_io.c", EXTRAS.EQUAKE_MESHIO),
+        ("sim.c", _SIM),
+    ),
+    datasets=(
+        DatasetSpec("train", size=150, seed=29),
+        DatasetSpec("small", size=60, seed=31),
+        DatasetSpec("large", size=240, seed=37),
+    ),
+)

@@ -1,0 +1,578 @@
+"""Cold-path modules for the scientific applications.
+
+Real SPEC applications are far larger than their hot kernels: option
+parsing, validation passes, alternative algorithms, output writers. This
+module provides each scientific stand-in with that realistic "long tail" —
+code that is *const* (runs once per execution regardless of input size) or
+*dead* (alternative/diagnostic paths never enabled in benchmark runs).
+
+It exists for fidelity of the paper's structural statistics: source size
+(Table I files/LOC/blk/ins, paper ratio 24x scientific/embedded), dead-code
+share (paper: 34 % scientific vs 15 % embedded), and the observation that
+large programs offer the ISE algorithms mostly-cold code.
+
+Each constant is a MiniC source string appended to the owning application;
+`main` additions are wired in the app files themselves (a one-call
+"housekeeping" entry executed once, plus a disabled diagnostic guard).
+"""
+
+GZIP_HUFFMAN = """\
+// Static Huffman code construction over the literal histogram (cold: runs
+// once per execution) and a canonical-code validator (dead: debug only).
+int code_length[256];
+int length_count[16];
+int next_code[16];
+
+int huffman_assign_lengths() {
+    // approximate length assignment: log2 of inverse frequency, clamped
+    int total = 0;
+    for (int i = 0; i < 256; i++) total += lit_count[i];
+    if (total == 0) total = 1;
+    for (int i = 0; i < 256; i++) {
+        int f = lit_count[i];
+        if (f == 0) { code_length[i] = 0; continue; }
+        int len = 1;
+        int share = total / f;
+        while (share > 1 && len < 15) { share = share >> 1; len++; }
+        code_length[i] = len;
+    }
+    for (int l = 0; l < 16; l++) length_count[l] = 0;
+    for (int i = 0; i < 256; i++) length_count[code_length[i]]++;
+    int code = 0;
+    next_code[0] = 0;
+    for (int l = 1; l < 16; l++) {
+        code = (code + length_count[l - 1]) << 1;
+        next_code[l] = code;
+    }
+    long weighted = 0;
+    for (int i = 0; i < 256; i++) weighted += (long)(lit_count[i] * code_length[i]);
+    return (int)(weighted & 2147483647);
+}
+
+// Dead: verifies the Kraft inequality of the generated code.
+int huffman_validate() {
+    long kraft = 0;
+    for (int i = 0; i < 256; i++) {
+        if (code_length[i] > 0) {
+            kraft += (long)(1 << (15 - code_length[i]));
+        }
+    }
+    if (kraft > (long)(1 << 15)) return 0;
+    return 1;
+}
+
+// Dead: canonical decode table for a round-trip check.
+int decode_first_symbol(int bits) {
+    int code = 0;
+    int len = 0;
+    while (len < 15) {
+        code = (code << 1) | (bits & 1);
+        bits = bits >> 1;
+        len++;
+        int base = next_code[len];
+        if (code - base < length_count[len]) {
+            return code - base;
+        }
+    }
+    return -1;
+}
+"""
+
+ART_TRAINING = """\
+// Offline training mode (dead in recognition runs) plus a pattern
+// statistics pass (cold: once per run).
+double train_rate_schedule[8] = {0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2};
+double pattern_mean = 0.0;
+double pattern_var = 0.0;
+
+int compute_pattern_stats() {
+    double sum = 0.0;
+    for (int i = 0; i < 64; i++) sum += input_img[i];
+    pattern_mean = sum / 64.0;
+    double acc = 0.0;
+    for (int i = 0; i < 64; i++) {
+        double d = input_img[i] - pattern_mean;
+        acc += d * d;
+    }
+    pattern_var = acc / 64.0;
+    if (pattern_var < 0.0) return -1;
+    return 0;
+}
+
+// Dead: supervised training epoch over labelled patterns.
+int train_epoch(int epoch) {
+    double rate = train_rate_schedule[epoch & 7];
+    int updates = 0;
+    for (int k = 0; k < 16; k++) {
+        make_pattern(k, 1234 + epoch);
+        normalize_input();
+        compute_activations();
+        int winner = find_winner();
+        adapt(winner, rate);
+        updates++;
+    }
+    return updates;
+}
+
+// Dead: weight decay regularization between epochs.
+void decay_weights(double lambda) {
+    for (int j = 0; j < 64; j++) {
+        for (int i = 0; i < 64; i++) {
+            bu_weights[j * 64 + i] *= (1.0 - lambda);
+            td_weights[j * 64 + i] *= (1.0 - lambda);
+        }
+    }
+}
+"""
+
+EQUAKE_MESHIO = """\
+// Mesh statistics (cold) and checkpoint/restart support (dead).
+double mesh_min_coupling = 0.0;
+double mesh_max_coupling = 0.0;
+int mesh_bandwidth = 0;
+double checkpoint_buf[1024];
+
+int compute_mesh_stats() {
+    mesh_min_coupling = 1000000.0;
+    mesh_max_coupling = -1000000.0;
+    mesh_bandwidth = 0;
+    for (int i = 0; i < n_nodes; i++) {
+        for (int k = row_start[i]; k < row_start[i + 1]; k++) {
+            double v = values[k];
+            if (v < mesh_min_coupling) mesh_min_coupling = v;
+            if (v > mesh_max_coupling) mesh_max_coupling = v;
+            int span = col_index[k] - i;
+            if (span < 0) span = -span;
+            if (span > mesh_bandwidth) mesh_bandwidth = span;
+        }
+    }
+    return mesh_bandwidth;
+}
+
+// Dead: checkpoint of the displacement field.
+int write_checkpoint(int step) {
+    for (int i = 0; i < n_nodes && i < 1024; i++) {
+        checkpoint_buf[i] = disp[i];
+    }
+    return step;
+}
+
+// Dead: restart from the last checkpoint.
+int read_checkpoint() {
+    int restored = 0;
+    for (int i = 0; i < n_nodes && i < 1024; i++) {
+        disp[i] = checkpoint_buf[i];
+        restored++;
+    }
+    return restored;
+}
+
+// Dead: Rayleigh damping re-estimation (alternative integrator option).
+double estimate_damping(double alpha, double beta) {
+    double acc = 0.0;
+    for (int i = 0; i < n_nodes; i++) {
+        acc += alpha * vel[i] * vel[i] + beta * disp[i] * disp[i];
+    }
+    return acc;
+}
+"""
+
+AMMP_BONDS = """\
+// Bonded interactions (cold phase: executes once after setup) and a
+// trajectory writer (dead).
+int bond_a[512];
+int bond_b[512];
+double bond_length[512];
+int n_bonds = 0;
+
+void build_bonds() {
+    // connect lattice neighbours (i, i+1) as a synthetic bond topology
+    n_bonds = 0;
+    for (int i = 0; i + 1 < n_atoms && n_bonds < 512; i++) {
+        bond_a[n_bonds] = i;
+        bond_b[n_bonds] = i + 1;
+        bond_length[n_bonds] = 1.2;
+        n_bonds++;
+    }
+}
+
+double bond_energy() {
+    double e = 0.0;
+    for (int k = 0; k < n_bonds; k++) {
+        int i = bond_a[k];
+        int j = bond_b[k];
+        double dx = px[i] - px[j];
+        double dy = py[i] - py[j];
+        double dz = pz[i] - pz[j];
+        double r = sqrt(dx * dx + dy * dy + dz * dz);
+        double d = r - bond_length[k];
+        e += 50.0 * d * d;
+    }
+    return e;
+}
+
+// Dead: SHAKE-style constraint iteration (rigid-bond option disabled).
+int shake_constraints(double tol) {
+    int iterations = 0;
+    int converged = 0;
+    while (converged == 0 && iterations < 50) {
+        converged = 1;
+        for (int k = 0; k < n_bonds; k++) {
+            int i = bond_a[k];
+            int j = bond_b[k];
+            double dx = px[i] - px[j];
+            double dy = py[i] - py[j];
+            double dz = pz[i] - pz[j];
+            double r2 = dx * dx + dy * dy + dz * dz;
+            double target = bond_length[k] * bond_length[k];
+            double diff = r2 - target;
+            if (fabs(diff) > tol) {
+                double g = diff / (4.0 * r2 + 0.0001);
+                px[i] -= g * dx; px[j] += g * dx;
+                py[i] -= g * dy; py[j] += g * dy;
+                pz[i] -= g * dz; pz[j] += g * dz;
+                converged = 0;
+            }
+        }
+        iterations++;
+    }
+    return iterations;
+}
+"""
+
+MCF_SIMPLEX = """\
+// Network-simplex scaffolding: the alternative optimizer the real mcf
+// uses. Dead here (the benchmark run uses label-correcting augmentation),
+// plus a basis-statistics pass (cold).
+int basis_parent[2048];
+int basis_depth[2048];
+int arcs_in_basis = 0;
+
+int build_spanning_basis() {
+    // trivial chain basis over the network nodes
+    arcs_in_basis = 0;
+    basis_parent[0] = -1;
+    basis_depth[0] = 0;
+    for (int i = 1; i < n_nodes; i++) {
+        basis_parent[i] = i - 1;
+        basis_depth[i] = basis_depth[i - 1] + 1;
+        arcs_in_basis++;
+    }
+    return arcs_in_basis;
+}
+
+// Dead: reduced-cost pricing pass of the simplex method.
+int price_arcs(int* entering_out) {
+    int best_arc = -1;
+    int best_violation = 0;
+    for (int a = 0; a < n_arcs; a++) {
+        int u = arc_from[a];
+        int v = arc_to[a];
+        int reduced = arc_cost[a] + basis_depth[u] - basis_depth[v];
+        if (arc_flow[a] < arc_cap[a] && reduced < -best_violation) {
+            best_violation = -reduced;
+            best_arc = a;
+        }
+    }
+    entering_out[0] = best_arc;
+    return best_violation;
+}
+
+// Dead: leave-arc selection by ratio test along the basis cycle.
+int ratio_test(int entering) {
+    int u = arc_from[entering];
+    int v = arc_to[entering];
+    int theta = arc_cap[entering] - arc_flow[entering];
+    while (u != v) {
+        if (basis_depth[u] > basis_depth[v]) {
+            u = basis_parent[u];
+        } else {
+            v = basis_parent[v];
+        }
+        theta--;
+        if (theta <= 0) return 0;
+    }
+    return theta;
+}
+"""
+
+MILC_GAUGE = """\
+// Gauge-fixing iteration (dead: not part of the measured sweep) and a
+// plaquette statistics pass (cold: once per run).
+double plaquette_history[64];
+int history_len = 0;
+
+double average_plaquette() {
+    double acc = 0.0;
+    int count = 0;
+    for (int s = 0; s < n_sites - 1; s++) {
+        su3_mat_mul(link_re, link_im, s * 9,
+                    link_re, link_im, (s + 1) * 9,
+                    res_re, res_im, s * 9);
+        acc += site_trace(res_re, s * 9) / 3.0;
+        count++;
+    }
+    double avg = acc / (double)(count + 1);
+    if (history_len < 64) {
+        plaquette_history[history_len] = avg;
+        history_len++;
+    }
+    return avg;
+}
+
+// Dead: Coulomb gauge fixing by over-relaxation.
+int gauge_fix(double tolerance, int max_iter) {
+    int iter = 0;
+    double delta = 1.0;
+    while (delta > tolerance && iter < max_iter) {
+        delta = 0.0;
+        for (int s = 0; s < n_sites; s++) {
+            int o = s * 9;
+            double tr = link_re[o] + link_re[o + 4] + link_re[o + 8];
+            double target = 3.0;
+            double adj = (target - tr) * 0.1;
+            link_re[o] += adj;
+            link_re[o + 4] += adj;
+            link_re[o + 8] += adj;
+            if (fabs(adj) > delta) delta = fabs(adj);
+        }
+        iter++;
+    }
+    return iter;
+}
+
+// Dead: antihermitian projection of a site matrix.
+void make_antihermitian(int site) {
+    int o = site * 9;
+    for (int i = 0; i < 3; i++) {
+        for (int j = i; j < 3; j++) {
+            double re_avg = 0.5 * (link_re[o + i * 3 + j] - link_re[o + j * 3 + i]);
+            double im_avg = 0.5 * (link_im[o + i * 3 + j] + link_im[o + j * 3 + i]);
+            link_re[o + i * 3 + j] = re_avg;
+            link_re[o + j * 3 + i] = -re_avg;
+            link_im[o + i * 3 + j] = im_avg;
+            link_im[o + j * 3 + i] = im_avg;
+        }
+    }
+}
+"""
+
+NAMD_EXCLUSIONS = """\
+// Exclusion-list builder (cold: once per run) and a conjugate-gradient
+// energy minimizer (dead: dynamics runs skip minimization).
+int excl_from[1024];
+int excl_to[1024];
+int n_exclusions = 0;
+
+int build_exclusions() {
+    // exclude nearest neighbours (bonded pairs) from non-bonded forces
+    n_exclusions = 0;
+    for (int i = 0; i + 1 < n_atoms2 && n_exclusions < 1024; i++) {
+        excl_from[n_exclusions] = i;
+        excl_to[n_exclusions] = i + 1;
+        n_exclusions++;
+    }
+    return n_exclusions;
+}
+
+int is_excluded(int i, int j) {
+    for (int k = 0; k < n_exclusions; k++) {
+        if (excl_from[k] == i && excl_to[k] == j) return 1;
+        if (excl_from[k] == j && excl_to[k] == i) return 1;
+    }
+    return 0;
+}
+
+// Dead: steepest-descent minimization before dynamics.
+int minimize(int max_steps, double step_size) {
+    int steps_done = 0;
+    for (int s = 0; s < max_steps; s++) {
+        build_pairs(9.0);
+        pair_forces(9.0);
+        double max_force = 0.0;
+        for (int i = 0; i < n_atoms2; i++) {
+            double f2 = frcx[i] * frcx[i] + frcy[i] * frcy[i] + frcz[i] * frcz[i];
+            if (f2 > max_force) max_force = f2;
+            posx[i] += step_size * frcx[i];
+            posy[i] += step_size * frcy[i];
+            posz[i] += step_size * frcz[i];
+            frcx[i] = 0.0; frcy[i] = 0.0; frcz[i] = 0.0;
+        }
+        steps_done++;
+        if (max_force < 0.0001) break;
+    }
+    return steps_done;
+}
+"""
+
+SJENG_BOOK = """\
+// Opening-book probing (cold: once per game) and endgame tablebase
+// scaffolding (dead).
+long book_keys[64];
+int book_moves[64];
+int book_size = 0;
+
+void build_book(int seed) {
+    srand(seed + 99);
+    book_size = 32;
+    for (int i = 0; i < book_size; i++) {
+        long hi = (long)rand();
+        long lo = (long)rand();
+        book_keys[i] = (hi << 30) ^ lo;
+        book_moves[i] = rand() % 1024;
+    }
+}
+
+int probe_book() {
+    for (int i = 0; i < book_size; i++) {
+        if (book_keys[i] == position_hash) return book_moves[i];
+    }
+    return -1;
+}
+
+// Dead: endgame distance-to-mate probe (no tablebase in benchmark runs).
+int probe_endgame(int material) {
+    if (material > 6) return -1;
+    long h = position_hash;
+    int dtm = 0;
+    for (int i = 0; i < material; i++) {
+        h = h ^ (h >> 13);
+        h = h * 31;
+        dtm += (int)(h & 7);
+    }
+    return dtm;
+}
+
+// Dead: static exchange evaluation used only by the quiescence extension.
+int see(int square, int side) {
+    int gain[8];
+    int depth = 0;
+    gain[0] = board[square & 63];
+    while (depth < 7) {
+        depth++;
+        gain[depth] = (board[(square + depth) & 63]) - gain[depth - 1];
+        if (gain[depth] < 0 && gain[depth - 1] < 0) break;
+    }
+    while (depth > 0) {
+        depth--;
+        int neg = -gain[depth + 1];
+        if (neg < gain[depth]) gain[depth] = neg;
+    }
+    return gain[0] * side;
+}
+"""
+
+LBM_BOUNDARY = """\
+// Inflow/outflow boundary handling (cold: configured once) and VTK-style
+// output (dead).
+double inflow_velocity = 0.0;
+int boundary_cells = 0;
+
+int configure_boundaries(double u_in) {
+    inflow_velocity = u_in;
+    boundary_cells = 0;
+    for (int y = 0; y < NY; y++) {
+        // west column is inflow, east column outflow
+        int w = cell(0, y);
+        int e = cell(NX - 1, y);
+        if (obstacle[w] == 0) boundary_cells++;
+        if (obstacle[e] == 0) boundary_cells++;
+    }
+    return boundary_cells;
+}
+
+// Dead: Zou-He velocity boundary at the inlet (periodic used instead).
+void apply_inflow() {
+    for (int y = 0; y < NY; y++) {
+        int c = cell(0, y);
+        if (obstacle[c] == 1) continue;
+        double rho = (f0[c] + f2[c] + f4[c]
+                   + 2.0 * (f3[c] + f6[c] + f7[c])) / (1.0 - inflow_velocity);
+        f1[c] = f3[c] + 0.666667 * rho * inflow_velocity;
+        f5[c] = f7[c] + 0.166667 * rho * inflow_velocity;
+        f8[c] = f6[c] + 0.166667 * rho * inflow_velocity;
+    }
+}
+
+// Dead: drag/lift on the obstacle via momentum exchange.
+double obstacle_drag() {
+    double fx_acc = 0.0;
+    int n = NX * NY;
+    for (int c = 0; c < n; c++) {
+        if (obstacle[c] == 1) {
+            fx_acc += 2.0 * (f1[c] - f3[c] + f5[c] - f6[c] - f7[c] + f8[c]);
+        }
+    }
+    return fx_acc;
+}
+"""
+
+ASTAR_ANALYSIS = """\
+// Terrain statistics (cold: once per query batch) and path smoothing
+// (dead: only used by the interactive viewer).
+int terrain_walkable = 0;
+int terrain_rough = 0;
+double terrain_open_ratio = 0.0;
+
+int analyze_terrain() {
+    terrain_walkable = 0;
+    terrain_rough = 0;
+    int n = GW * GH;
+    for (int i = 0; i < n; i++) {
+        if (terrain[i] > 0) terrain_walkable++;
+        if (terrain[i] > 10) terrain_rough++;
+    }
+    terrain_open_ratio = (double)terrain_walkable / (double)n;
+    return terrain_walkable;
+}
+
+// Dead: string-pulling smoothing of a reconstructed path.
+int smooth_path(int goal, int* out_len) {
+    int waypoints = 0;
+    int cur = goal;
+    int last_dir = -9;
+    while (cur >= 0 && waypoints < GW * GH) {
+        int parent = came_from[cur];
+        if (parent < 0) break;
+        int dir = cur - parent;
+        if (dir != last_dir) {
+            waypoints++;
+            last_dir = dir;
+        }
+        cur = parent;
+    }
+    out_len[0] = waypoints;
+    return waypoints;
+}
+
+// Dead: weighted-A* re-run for comparison studies.
+int weighted_astar(int start, int goal, int weight) {
+    int n = GW * GH;
+    for (int i = 0; i < n; i++) { g_score[i] = INF2; status[i] = 0; }
+    heap_clear();
+    g_score[start] = 0;
+    heap_push(start, weight * heuristic(start, goal));
+    while (heap_size > 0) {
+        int cur = heap_pop();
+        if (cur == goal) return g_score[cur];
+        if (status[cur] == 2) continue;
+        status[cur] = 2;
+        int cx = cur % GW;
+        int cy = cur / GW;
+        for (int k = 0; k < 8; k++) {
+            int nx = cx + neighbor_dx[k];
+            int ny = cy + neighbor_dy[k];
+            if (nx < 0 || ny < 0 || nx >= GW || ny >= GH) continue;
+            int nb = ny * GW + nx;
+            if (terrain[nb] == 0 || status[nb] == 2) continue;
+            int tentative = g_score[cur] + terrain[nb];
+            if (tentative < g_score[nb]) {
+                g_score[nb] = tentative;
+                heap_push(nb, tentative + weight * heuristic(nb, goal));
+                status[nb] = 1;
+            }
+        }
+    }
+    return -1;
+}
+"""

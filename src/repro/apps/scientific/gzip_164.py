@@ -1,0 +1,173 @@
+"""164.gzip — LZ77 compression with hash chains (SPEC2000 stand-in).
+
+The deflate-style match finder: a rolling 3-byte hash indexes chains of
+previous positions; the inner loop walks chains comparing candidate
+matches. Dominated by integer compares and memory accesses, so custom
+instructions find little contiguous arithmetic (paper: 1.17x upper bound).
+"""
+
+from repro.apps.base import AppSpec, DatasetSpec
+from repro.apps.scientific import extras as EXTRAS
+
+_DEFLATE = """\
+int window[16384];     // input buffer (one byte per int)
+int head[4096];        // hash -> most recent position
+int prev[16384];       // chained previous positions
+int lit_count[256];    // literal frequency (for the entropy estimate)
+
+int MIN_MATCH = 3;
+int MAX_MATCH = 64;
+int MAX_CHAIN = 32;
+
+int hash3(int pos) {
+    int h = window[pos] * 2654435761 + window[pos + 1] * 40503 + window[pos + 2];
+    return (h >> 8) & 4095;
+}
+
+int match_length(int a, int b, int limit) {
+    int len = 0;
+    while (len < MAX_MATCH && a + len < limit && window[a + len] == window[b + len]) {
+        len++;
+    }
+    return len;
+}
+
+int find_match(int pos, int limit, int* best_out) {
+    int h = hash3(pos);
+    int cand = head[h];
+    int best_len = 0;
+    int best_pos = -1;
+    int chain = 0;
+    while (cand >= 0 && chain < MAX_CHAIN) {
+        int len = match_length(pos, cand, limit);
+        if (len > best_len) {
+            best_len = len;
+            best_pos = cand;
+            if (len >= MAX_MATCH) break;
+        }
+        cand = prev[cand];
+        chain++;
+    }
+    // insert current position into the chain
+    prev[pos] = head[h];
+    head[h] = pos;
+    best_out[0] = best_len;
+    best_out[1] = best_pos;
+    return best_len;
+}
+
+void reset_tables() {
+    for (int i = 0; i < 4096; i++) head[i] = -1;
+    for (int i = 0; i < 16384; i++) prev[i] = -1;
+    for (int i = 0; i < 256; i++) lit_count[i] = 0;
+}
+"""
+
+_MAIN = """\
+long emitted_bits = 0;
+int n_literals = 0;
+int n_matches = 0;
+
+// Cheap log2 approximation for the entropy estimate (integer).
+int ilog2(int v) {
+    int r = 0;
+    while (v > 1) { v = v >> 1; r++; }
+    return r;
+}
+
+void emit_literal(int c) {
+    lit_count[c & 255]++;
+    n_literals++;
+    emitted_bits += 8;
+}
+
+void emit_match(int len, int dist) {
+    n_matches++;
+    emitted_bits += (long)(ilog2(len) + ilog2(dist) + 7);
+}
+
+void make_input(int n, int seed) {
+    srand(seed);
+    // compressible text: repeated phrases + noise
+    int phrase_len = 17;
+    for (int i = 0; i < n; i++) {
+        int r = rand() % 100;
+        if (r < 70 && i >= phrase_len) {
+            window[i] = window[i - phrase_len];
+        } else {
+            window[i] = 32 + rand() % 96;
+        }
+    }
+}
+
+// Dead: would verify a round-trip decode in debug builds.
+int verify_decode(int n) {
+    long check = 0;
+    for (int i = 0; i < n; i++) check += (long)window[i];
+    return (int)(check & 65535);
+}
+
+int deflate_buffer(int n) {
+    int best[2];
+    int pos = 0;
+    while (pos < n - MIN_MATCH) {
+        int len = find_match(pos, n, best);
+        if (len >= MIN_MATCH) {
+            emit_match(len, pos - best[1]);
+            // insert skipped positions into the hash chains
+            int stop = pos + len;
+            pos++;
+            while (pos < stop && pos < n - MIN_MATCH) {
+                int h = hash3(pos);
+                prev[pos] = head[h];
+                head[h] = pos;
+                pos++;
+            }
+            pos = stop;
+        } else {
+            emit_literal(window[pos]);
+            pos++;
+        }
+    }
+    while (pos < n) { emit_literal(window[pos]); pos++; }
+    return n_matches;
+}
+
+int main() {
+    int n = dataset_size();
+    int seed = dataset_seed();
+    if (n < 256) n = 256;
+    if (n > 16384) n = 16384;
+    reset_tables();
+    make_input(n, seed);
+    deflate_buffer(n);
+    huffman_assign_lengths();
+    if (n < 0) {
+        print_i32(verify_decode(n));
+        print_i32(huffman_validate());
+        print_i32(decode_first_symbol(n));
+    }
+    long in_bits = (long)n * 8;
+    print_i64(emitted_bits);
+    print_i32(n_literals);
+    print_i32(n_matches);
+    print_i64(in_bits * 100 / emitted_bits);  // compression ratio x100
+    return 0;
+}
+"""
+
+APP = AppSpec(
+    name="164.gzip",
+    domain="scientific",
+    description="LZ77/deflate match finder with hash chains (SPEC2000 gzip)",
+    sources=(
+        ("deflate.c", _DEFLATE),
+        ("huffman.c", EXTRAS.GZIP_HUFFMAN),
+        ("main.c", _MAIN),
+    ),
+    datasets=(
+        DatasetSpec("train", size=6000, seed=41),
+        DatasetSpec("small", size=2500, seed=43),
+        DatasetSpec("large", size=9000, seed=47),
+    ),
+)

@@ -1,0 +1,177 @@
+"""470.lbm — lattice Boltzmann method (SPEC2006 stand-in).
+
+D2Q9 stream-and-collide over a 2-D channel with an obstacle. The collide
+step is one enormous straight-line FP block per cell (equilibrium
+distribution for nine directions) — the paper's largest scientific basic
+blocks and its second-best scientific ASIP ratio (2.61x), but also the most
+candidates (179) because the block is wide rather than deep.
+"""
+
+from repro.apps.base import AppSpec, DatasetSpec
+from repro.apps.scientific import extras as EXTRAS
+
+_LBM = """\
+// 9 distributions on a grid of up to 40x24 cells, double buffered
+double f0[1920]; double f1[1920]; double f2[1920];
+double f3[1920]; double f4[1920]; double f5[1920];
+double f6[1920]; double f7[1920]; double f8[1920];
+double g0[1920]; double g1[1920]; double g2[1920];
+double g3[1920]; double g4[1920]; double g5[1920];
+double g6[1920]; double g7[1920]; double g8[1920];
+int obstacle[1920];
+int NX = 0;
+int NY = 0;
+
+int cell(int x, int y) { return y * NX + x; }
+
+void init_channel(int nx, int ny, int seed) {
+    srand(seed);
+    NX = nx; NY = ny;
+    for (int y = 0; y < ny; y++) {
+        for (int x = 0; x < nx; x++) {
+            int c = cell(x, y);
+            obstacle[c] = 0;
+            // cylinder-ish obstacle
+            int dx = x - nx / 4;
+            int dy = y - ny / 2;
+            if (dx * dx + dy * dy < 9) obstacle[c] = 1;
+            double r = 0.0001 * (double)(rand() % 100);
+            f0[c] = 0.444444 + r;
+            f1[c] = 0.111111; f2[c] = 0.111111; f3[c] = 0.111111; f4[c] = 0.111111;
+            f5[c] = 0.027778; f6[c] = 0.027778; f7[c] = 0.027778; f8[c] = 0.027778;
+        }
+    }
+}
+
+// Collide: BGK relaxation toward equilibrium, one huge FP block per cell.
+void collide(double omega) {
+    int n = NX * NY;
+    for (int c = 0; c < n; c++) {
+        if (obstacle[c] == 1) continue;
+        double rho = f0[c] + f1[c] + f2[c] + f3[c] + f4[c]
+                   + f5[c] + f6[c] + f7[c] + f8[c];
+        double inv_rho = 1.0 / rho;
+        double ux = (f1[c] - f3[c] + f5[c] - f6[c] - f7[c] + f8[c]) * inv_rho + 0.00001;
+        double uy = (f2[c] - f4[c] + f5[c] + f6[c] - f7[c] - f8[c]) * inv_rho;
+        double u2 = ux * ux + uy * uy;
+        double c1 = 1.0 - 1.5 * u2;
+        double w0 = 0.444444 * rho;
+        double w1 = 0.111111 * rho;
+        double w2 = 0.027778 * rho;
+        double e0 = w0 * c1;
+        double e1 = w1 * (c1 + 3.0 * ux + 4.5 * ux * ux);
+        double e2 = w1 * (c1 + 3.0 * uy + 4.5 * uy * uy);
+        double e3 = w1 * (c1 - 3.0 * ux + 4.5 * ux * ux);
+        double e4 = w1 * (c1 - 3.0 * uy + 4.5 * uy * uy);
+        double p5 = ux + uy;
+        double p6 = uy - ux;
+        double e5 = w2 * (c1 + 3.0 * p5 + 4.5 * p5 * p5);
+        double e6 = w2 * (c1 + 3.0 * p6 + 4.5 * p6 * p6);
+        double e7 = w2 * (c1 - 3.0 * p5 + 4.5 * p5 * p5);
+        double e8 = w2 * (c1 - 3.0 * p6 + 4.5 * p6 * p6);
+        f0[c] += omega * (e0 - f0[c]);
+        f1[c] += omega * (e1 - f1[c]);
+        f2[c] += omega * (e2 - f2[c]);
+        f3[c] += omega * (e3 - f3[c]);
+        f4[c] += omega * (e4 - f4[c]);
+        f5[c] += omega * (e5 - f5[c]);
+        f6[c] += omega * (e6 - f6[c]);
+        f7[c] += omega * (e7 - f7[c]);
+        f8[c] += omega * (e8 - f8[c]);
+    }
+}
+
+// Stream: move distributions to neighbours (periodic boundaries).
+void stream() {
+    for (int y = 0; y < NY; y++) {
+        int yn = y + 1; if (yn == NY) yn = 0;
+        int ys = y - 1; if (ys < 0) ys = NY - 1;
+        for (int x = 0; x < NX; x++) {
+            int xe = x + 1; if (xe == NX) xe = 0;
+            int xw = x - 1; if (xw < 0) xw = NX - 1;
+            int c = cell(x, y);
+            g0[c] = f0[c];
+            g1[cell(xe, y)] = f1[c];
+            g2[cell(x, yn)] = f2[c];
+            g3[cell(xw, y)] = f3[c];
+            g4[cell(x, ys)] = f4[c];
+            g5[cell(xe, yn)] = f5[c];
+            g6[cell(xw, yn)] = f6[c];
+            g7[cell(xw, ys)] = f7[c];
+            g8[cell(xe, ys)] = f8[c];
+        }
+    }
+    int n = NX * NY;
+    for (int c = 0; c < n; c++) {
+        if (obstacle[c] == 1) {
+            // bounce-back
+            double t1 = g1[c]; double t2 = g2[c]; double t5 = g5[c]; double t6 = g6[c];
+            f1[c] = g3[c]; f3[c] = t1;
+            f2[c] = g4[c]; f4[c] = t2;
+            f5[c] = g7[c]; f7[c] = t5;
+            f6[c] = g8[c]; f8[c] = t6;
+            f0[c] = g0[c];
+        } else {
+            f0[c] = g0[c]; f1[c] = g1[c]; f2[c] = g2[c]; f3[c] = g3[c];
+            f4[c] = g4[c]; f5[c] = g5[c]; f6[c] = g6[c]; f7[c] = g7[c];
+            f8[c] = g8[c];
+        }
+    }
+}
+"""
+
+_MAIN = """\
+// Dead: VTK-style field dump, disabled in benchmark mode.
+void dump_velocity_field() {
+    int n = NX * NY;
+    for (int c = 0; c < n && c < 8; c++) print_f64(f0[c]);
+}
+
+int main() {
+    int s = dataset_size();
+    if (s < 8) s = 8;
+    if (s > 24) s = 24;
+    int nx = s + s / 2;
+    int ny = s;
+    init_channel(nx, ny, dataset_seed());
+    configure_boundaries(0.05);
+    int steps = 30;
+    for (int t = 0; t < steps; t++) {
+        collide(1.7);
+        stream();
+    }
+    if (s < 0) {
+        dump_velocity_field();
+        apply_inflow();
+        print_f64(obstacle_drag());
+    }
+    double mass = 0.0;
+    double mom = 0.0;
+    int n = nx * ny;
+    for (int c = 0; c < n; c++) {
+        double rho = f0[c] + f1[c] + f2[c] + f3[c] + f4[c]
+                   + f5[c] + f6[c] + f7[c] + f8[c];
+        mass += rho;
+        mom += f1[c] - f3[c];
+    }
+    print_f64(mass);
+    print_f64(mom);
+    return 0;
+}
+"""
+
+APP = AppSpec(
+    name="470.lbm",
+    domain="scientific",
+    description="Lattice Boltzmann D2Q9 stream/collide (SPEC2006 lbm)",
+    sources=(
+        ("lbm.c", _LBM),
+        ("boundary.c", EXTRAS.LBM_BOUNDARY),
+        ("main.c", _MAIN),
+    ),
+    datasets=(
+        DatasetSpec("train", size=12, seed=127),
+        DatasetSpec("small", size=8, seed=131),
+        DatasetSpec("large", size=16, seed=137),
+    ),
+)

@@ -1,0 +1,146 @@
+"""433.milc — lattice QCD SU(3) algebra (SPEC2006 stand-in).
+
+The dominant kernel of MILC: complex 3x3 matrix multiplication
+(su3_mat_mul) and matrix-vector products over a 4-D lattice, with
+real/imaginary parts in separate arrays. Long FP multiply-add chains
+interrupted by many loads (1.26x upper bound in the paper).
+"""
+
+from repro.apps.base import AppSpec, DatasetSpec
+from repro.apps.scientific import extras as EXTRAS
+
+_SU3 = """\
+// lattice of up to 256 sites, each with a 3x3 complex link matrix
+double link_re[2304];   // 256 * 9
+double link_im[2304];
+double res_re[2304];
+double res_im[2304];
+double vec_re[768];     // 256 * 3
+double vec_im[768];
+int n_sites = 0;
+
+// c = a * b for 3x3 complex matrices at the given base offsets.
+void su3_mat_mul(double* a_re, double* a_im, int ao,
+                 double* b_re, double* b_im, int bo,
+                 double* c_re, double* c_im, int co) {
+    for (int i = 0; i < 3; i++) {
+        for (int j = 0; j < 3; j++) {
+            double sr = 0.0;
+            double si = 0.0;
+            for (int k = 0; k < 3; k++) {
+                double ar = a_re[ao + i * 3 + k];
+                double ai = a_im[ao + i * 3 + k];
+                double br = b_re[bo + k * 3 + j];
+                double bi = b_im[bo + k * 3 + j];
+                sr += ar * br - ai * bi;
+                si += ar * bi + ai * br;
+            }
+            c_re[co + i * 3 + j] = sr;
+            c_im[co + i * 3 + j] = si;
+        }
+    }
+}
+
+// w = M * v (3x3 complex times 3-vector) accumulated over sites.
+void su3_mat_vec(int site) {
+    int mo = site * 9;
+    int vo = site * 3;
+    for (int i = 0; i < 3; i++) {
+        double sr = 0.0;
+        double si = 0.0;
+        for (int k = 0; k < 3; k++) {
+            double mr = link_re[mo + i * 3 + k];
+            double mi = link_im[mo + i * 3 + k];
+            double vr = vec_re[vo + k];
+            double vi = vec_im[vo + k];
+            sr += mr * vr - mi * vi;
+            si += mr * vi + mi * vr;
+        }
+        res_re[vo + i] = sr;
+        res_im[vo + i] = si;
+    }
+}
+
+double site_trace(double* m_re, int offset) {
+    return m_re[offset] + m_re[offset + 4] + m_re[offset + 8];
+}
+"""
+
+_MAIN = """\
+void init_lattice(int n, int seed) {
+    srand(seed);
+    n_sites = n;
+    for (int s = 0; s < n; s++) {
+        for (int e = 0; e < 9; e++) {
+            link_re[s * 9 + e] = 0.001 * (double)(rand() % 2000 - 1000);
+            link_im[s * 9 + e] = 0.001 * (double)(rand() % 2000 - 1000);
+        }
+        for (int e = 0; e < 3; e++) {
+            vec_re[s * 3 + e] = 0.001 * (double)(rand() % 2000 - 1000);
+            vec_im[s * 3 + e] = 0.001 * (double)(rand() % 2000 - 1000);
+        }
+    }
+}
+
+// Dead: unitarity re-projection, disabled for this integrator.
+void reunitarize(int site) {
+    int o = site * 9;
+    double norm = 0.000001;
+    for (int e = 0; e < 3; e++) {
+        norm += link_re[o + e] * link_re[o + e] + link_im[o + e] * link_im[o + e];
+    }
+    norm = 1.0 / sqrt(norm);
+    for (int e = 0; e < 9; e++) { link_re[o + e] *= norm; link_im[o + e] *= norm; }
+}
+
+int main() {
+    int n = dataset_size();
+    if (n < 16) n = 16;
+    if (n > 256) n = 256;
+    init_lattice(n, dataset_seed());
+    double action = 0.0;
+    int sweeps = 6;
+    for (int sw = 0; sw < sweeps; sw++) {
+        // plaquette-like pass: multiply neighbouring links
+        for (int s = 0; s < n - 1; s++) {
+            su3_mat_mul(link_re, link_im, s * 9,
+                        link_re, link_im, (s + 1) * 9,
+                        res_re, res_im, s * 9);
+            action += site_trace(res_re, s * 9);
+        }
+        // fermion-like pass: matrix-vector at every site
+        for (int s = 0; s < n; s++) {
+            su3_mat_vec(s);
+        }
+        if (sw < -1) reunitarize(sw);
+    }
+    print_f64(action);
+    print_f64(average_plaquette());
+    if (n < 0) {
+        print_i32(gauge_fix(0.001, 20));
+        make_antihermitian(0);
+    }
+    double vnorm = 0.0;
+    for (int e = 0; e < n * 3; e++) {
+        vnorm += res_re[e] * res_re[e] + res_im[e] * res_im[e];
+    }
+    print_f64(vnorm);
+    return 0;
+}
+"""
+
+APP = AppSpec(
+    name="433.milc",
+    domain="scientific",
+    description="Lattice QCD SU(3) complex matrix algebra (SPEC2006 milc)",
+    sources=(
+        ("su3.c", _SU3),
+        ("gauge.c", EXTRAS.MILC_GAUGE),
+        ("lattice.c", _MAIN),
+    ),
+    datasets=(
+        DatasetSpec("train", size=130, seed=79),
+        DatasetSpec("small", size=40, seed=83),
+        DatasetSpec("large", size=200, seed=89),
+    ),
+)

@@ -1,0 +1,143 @@
+"""444.namd — biomolecular simulation force kernels (SPEC2006 stand-in).
+
+NAMD's inner loops: non-bonded pair interactions evaluated through a
+switching polynomial, computed over a pair list that is rebuilt
+periodically. More structured than 188.ammp (separate pair-list and force
+phases); paper upper bound 1.61x.
+"""
+
+from repro.apps.base import AppSpec, DatasetSpec
+from repro.apps.scientific import extras as EXTRAS
+
+_PAIRLIST = """\
+double posx[200]; double posy[200]; double posz[200];
+double velx[200]; double vely[200]; double velz[200];
+double frcx[200]; double frcy[200]; double frcz[200];
+int pair_i[12000];
+int pair_j[12000];
+int n_pairs = 0;
+int n_atoms2 = 0;
+
+void build_pairs(double cutoff2) {
+    n_pairs = 0;
+    for (int i = 0; i < n_atoms2; i++) {
+        for (int j = i + 1; j < n_atoms2; j++) {
+            double dx = posx[i] - posx[j];
+            double dy = posy[i] - posy[j];
+            double dz = posz[i] - posz[j];
+            double r2 = dx * dx + dy * dy + dz * dz;
+            if (r2 < cutoff2 * 1.44 && n_pairs < 12000) {
+                pair_i[n_pairs] = i;
+                pair_j[n_pairs] = j;
+                n_pairs++;
+            }
+        }
+    }
+}
+"""
+
+_FORCES = """\
+double switching(double r2, double cutoff2) {
+    // C1-continuous switching polynomial
+    double x = r2 / cutoff2;
+    double y = 1.0 - x * x;
+    return y * y * (1.0 + 2.0 * x * x);
+}
+
+void pair_forces(double cutoff2) {
+    for (int p = 0; p < n_pairs; p++) {
+        int i = pair_i[p];
+        int j = pair_j[p];
+        double dx = posx[i] - posx[j];
+        double dy = posy[i] - posy[j];
+        double dz = posz[i] - posz[j];
+        double r2 = dx * dx + dy * dy + dz * dz;
+        if (r2 < cutoff2) {
+            double inv_r2 = 1.0 / (r2 + 0.0001);
+            double inv_r6 = inv_r2 * inv_r2 * inv_r2;
+            double sw = switching(r2, cutoff2);
+            double e = inv_r6 * (inv_r6 - 1.0) * sw;
+            double g = (12.0 * inv_r6 * inv_r6 - 6.0 * inv_r6) * inv_r2 * sw;
+            frcx[i] += g * dx; frcy[i] += g * dy; frcz[i] += g * dz;
+            frcx[j] -= g * dx; frcy[j] -= g * dy; frcz[j] -= g * dz;
+        }
+    }
+}
+
+void advance(double dt) {
+    for (int i = 0; i < n_atoms2; i++) {
+        velx[i] += frcx[i] * dt;
+        vely[i] += frcy[i] * dt;
+        velz[i] += frcz[i] * dt;
+        posx[i] += velx[i] * dt;
+        posy[i] += vely[i] * dt;
+        posz[i] += velz[i] * dt;
+        frcx[i] = 0.0; frcy[i] = 0.0; frcz[i] = 0.0;
+    }
+}
+"""
+
+_MAIN = """\
+void setup(int n, int seed) {
+    srand(seed);
+    n_atoms2 = n;
+    for (int i = 0; i < n; i++) {
+        posx[i] = 0.01 * (double)(rand() % 1000);
+        posy[i] = 0.01 * (double)(rand() % 1000);
+        posz[i] = 0.01 * (double)(rand() % 1000);
+        velx[i] = 0.0; vely[i] = 0.0; velz[i] = 0.0;
+        frcx[i] = 0.0; frcy[i] = 0.0; frcz[i] = 0.0;
+    }
+}
+
+// Dead: PME long-range electrostatics (not configured at these sizes).
+double pme_longrange() {
+    double acc = 0.0;
+    for (int i = 0; i < n_atoms2; i++) acc += posx[i] * 0.001;
+    return acc;
+}
+
+int main() {
+    int n = dataset_size();
+    if (n < 24) n = 24;
+    if (n > 200) n = 200;
+    setup(n, dataset_seed());
+    build_exclusions();
+    double cutoff2 = 9.0;
+    int steps = 24;
+    for (int s = 0; s < steps; s++) {
+        if (s % 8 == 0) build_pairs(cutoff2);
+        pair_forces(cutoff2);
+        advance(0.002);
+    }
+    if (n < 0) {
+        print_f64(pme_longrange());
+        print_i32(minimize(10, 0.001));
+        print_i32(is_excluded(0, 1));
+    }
+    double ke = 0.0;
+    for (int i = 0; i < n; i++) {
+        ke += velx[i] * velx[i] + vely[i] * vely[i] + velz[i] * velz[i];
+    }
+    print_f64(ke);
+    print_i32(n_pairs);
+    return 0;
+}
+"""
+
+APP = AppSpec(
+    name="444.namd",
+    domain="scientific",
+    description="Non-bonded force kernels with pair lists (SPEC2006 namd)",
+    sources=(
+        ("pairlist.c", _PAIRLIST),
+        ("exclusions.c", EXTRAS.NAMD_EXCLUSIONS),
+        ("forces.c", _FORCES),
+        ("main.c", _MAIN),
+    ),
+    datasets=(
+        DatasetSpec("train", size=100, seed=97),
+        DatasetSpec("small", size=40, seed=101),
+        DatasetSpec("large", size=140, seed=103),
+    ),
+)

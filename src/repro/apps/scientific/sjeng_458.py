@@ -1,0 +1,167 @@
+"""458.sjeng — game-tree search (SPEC2006 stand-in).
+
+Alpha-beta minimax with a transposition-table-style hash, a bit-twiddling
+evaluation function, and deterministic synthetic move generation. Control
+heavy and integer-only; the paper's kernel covers 46 % of the code but the
+ASIP ratio is just 1.13x — branchy code does not map to datapaths.
+"""
+
+from repro.apps.base import AppSpec, DatasetSpec
+from repro.apps.scientific import extras as EXTRAS
+
+_EVAL = """\
+int board[64];
+long zobrist[1024];   // 64 squares x 16 piece kinds
+long position_hash = 0;
+
+void init_zobrist(int seed) {
+    srand(seed);
+    for (int i = 0; i < 1024; i++) {
+        long hi = (long)rand();
+        long lo = (long)rand();
+        zobrist[i] = (hi << 31) ^ lo;
+    }
+}
+
+void init_board(int seed) {
+    srand(seed + 7);
+    position_hash = 0;
+    for (int sq = 0; sq < 64; sq++) {
+        board[sq] = rand() % 16;
+        position_hash = position_hash ^ zobrist[sq * 16 + board[sq]];
+    }
+}
+
+// Bit-mixing evaluation: material + mobility-ish popcount terms.
+int evaluate() {
+    long h = position_hash;
+    int score = 0;
+    for (int sq = 0; sq < 64; sq += 8) {
+        int a = board[sq] - board[sq + 1];
+        int b = board[sq + 2] & board[sq + 3];
+        int c = board[sq + 4] | board[sq + 5];
+        int d = board[sq + 6] ^ board[sq + 7];
+        score += a * 3 + b * 2 - c + (d << 1);
+    }
+    // fold hash bits into a small positional term
+    long m = h ^ (h >> 29);
+    m = m * 1099511627;
+    m = m ^ (m >> 32);
+    score += (int)(m & 31) - 16;
+    return score;
+}
+
+void make_move(int move) {
+    int sq = move % 64;
+    int old = board[sq];
+    int piece = (move / 64) % 16;
+    position_hash = position_hash ^ zobrist[sq * 16 + old];
+    board[sq] = piece;
+    position_hash = position_hash ^ zobrist[sq * 16 + piece];
+}
+
+void unmake_move(int move, int old_piece) {
+    int sq = move % 64;
+    position_hash = position_hash ^ zobrist[sq * 16 + board[sq]];
+    board[sq] = old_piece;
+    position_hash = position_hash ^ zobrist[sq * 16 + old_piece];
+}
+"""
+
+_SEARCH = """\
+int nodes_visited = 0;
+int tt_key[2048];
+int tt_score[2048];
+
+int gen_move(int ply, int k) {
+    // deterministic pseudo-move from the position hash
+    long h = position_hash ^ (long)(ply * 2654435761) ^ (long)(k * 40503);
+    h = h ^ (h >> 17);
+    if (h < 0) h = -h;
+    return (int)(h % 1024);
+}
+
+int alpha_beta(int depth, int alpha, int beta, int side) {
+    nodes_visited++;
+    int slot = (int)(position_hash & 2047);
+    if (slot < 0) slot = -slot;
+    if (tt_key[slot] == (int)(position_hash & 65535) && depth <= 1) {
+        return tt_score[slot];
+    }
+    if (depth == 0) {
+        int e = evaluate() * side;
+        tt_key[slot] = (int)(position_hash & 65535);
+        tt_score[slot] = e;
+        return e;
+    }
+    int best = -1000000;
+    int moves = 6;
+    for (int k = 0; k < moves; k++) {
+        int move = gen_move(depth, k);
+        int sq = move % 64;
+        int old = board[sq];
+        make_move(move);
+        int score = -alpha_beta(depth - 1, -beta, -alpha, -side);
+        unmake_move(move, old);
+        if (score > best) best = score;
+        if (best > alpha) alpha = best;
+        if (alpha >= beta) break;  // beta cutoff
+    }
+    return best;
+}
+
+// Dead: perft-style move counting used only in self-tests.
+long perft(int depth) {
+    if (depth == 0) return 1;
+    long total = 0;
+    for (int k = 0; k < 6; k++) {
+        int move = gen_move(depth, k);
+        int sq = move % 64;
+        int old = board[sq];
+        make_move(move);
+        total += perft(depth - 1);
+        unmake_move(move, old);
+    }
+    return total;
+}
+
+int main() {
+    int n = dataset_size();
+    if (n < 2) n = 2;
+    if (n > 40) n = 40;
+    init_zobrist(dataset_seed());
+    build_book(dataset_seed());
+    probe_book();
+    for (int i = 0; i < 2048; i++) { tt_key[i] = -1; tt_score[i] = 0; }
+    int total = 0;
+    for (int game = 0; game < n; game++) {
+        init_board(dataset_seed() + game);
+        int score = alpha_beta(5, -1000000, 1000000, 1);
+        total += score;
+    }
+    if (n < 0) {
+        print_i64(perft(3));
+        print_i32(probe_endgame(4));
+        print_i32(see(12, 1));
+    }
+    print_i32(total);
+    print_i32(nodes_visited);
+    return 0;
+}
+"""
+
+APP = AppSpec(
+    name="458.sjeng",
+    domain="scientific",
+    description="Alpha-beta game-tree search with Zobrist hashing",
+    sources=(
+        ("eval.c", _EVAL),
+        ("book.c", EXTRAS.SJENG_BOOK),
+        ("search.c", _SEARCH),
+    ),
+    datasets=(
+        DatasetSpec("train", size=14, seed=107),
+        DatasetSpec("small", size=5, seed=109),
+        DatasetSpec("large", size=30, seed=113),
+    ),
+)

@@ -1,0 +1,184 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``tables [1|2|3|4|all]`` — regenerate the paper's tables;
+- ``figures`` — print the textual renderings of Figures 1 and 2;
+- ``apps`` — list the benchmark suite;
+- ``analyze <app>`` — full analysis of one application (Table I+II row);
+- ``jit <app>`` — run the end-to-end JIT flow on one application;
+- ``timeline <app>`` — concurrent-specialization timeline (extension).
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+
+from repro.util.timefmt import format_dhms, format_hms
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    from repro import experiments
+
+    which = args.which
+    generators = {
+        "1": experiments.generate_table1,
+        "2": experiments.generate_table2,
+        "3": experiments.generate_table3,
+        "4": experiments.generate_table4,
+    }
+    selected = generators.keys() if which == "all" else [which]
+    for key in selected:
+        table = generators[key]()
+        print(table.render())
+        print()
+    return 0
+
+
+def _cmd_figures(_args: argparse.Namespace) -> int:
+    from repro.experiments import generate_figures
+
+    figs = generate_figures()
+    print(figs["figure1"])
+    print()
+    print(figs["figure2"])
+    return 0
+
+
+def _cmd_apps(_args: argparse.Namespace) -> int:
+    from repro.apps import ALL_APPS
+
+    for app in ALL_APPS:
+        datasets = ", ".join(f"{d.name}={d.size}" for d in app.datasets)
+        print(f"{app.name:12s} [{app.domain:10s}] {app.description}")
+        print(f"{'':12s} datasets: {datasets}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.experiments import analyze_app
+
+    a = analyze_app(args.app)
+    comp = a.compiled.compilation
+    print(f"{a.name} ({a.domain})")
+    print(
+        f"  code: {comp.files} files, {comp.loc} LOC, {comp.basic_blocks} blocks, "
+        f"{comp.instructions} instructions (compiled in {comp.compile_seconds:.2f}s)"
+    )
+    print(
+        f"  runtime: VM {a.runtime.vm_seconds:.3f}s, native "
+        f"{a.runtime.native_seconds:.3f}s (ratio {a.runtime.ratio:.2f})"
+    )
+    print(
+        f"  coverage: live {a.coverage.live_pct:.1f}% / dead "
+        f"{a.coverage.dead_pct:.1f}% / const {a.coverage.const_pct:.1f}%"
+    )
+    print(
+        f"  kernel: {a.kernel.size_pct:.1f}% of code, "
+        f"{a.kernel.freq_pct:.1f}% of time"
+    )
+    print(
+        f"  ASIP ratio: {a.asip_max.ratio:.2f}x upper bound, "
+        f"{a.asip_pruned.ratio:.2f}x with @50pS3L "
+        f"({a.specialization.candidate_count} candidates)"
+    )
+    print(
+        f"  overhead: search {a.search_pruned.search_seconds * 1000:.2f} ms, "
+        f"tool flow {format_hms(a.specialization.toolflow_seconds)} (m:s)"
+    )
+    be = a.breakeven.live_aware_seconds
+    print(
+        "  break-even: "
+        + (format_dhms(be) + " (d:h:m:s)" if math.isfinite(be) else "never")
+    )
+    return 0
+
+
+def _cmd_jit(args: argparse.Namespace) -> int:
+    from repro.apps import compile_app, get_app
+    from repro.core import JitIseSystem
+
+    spec = get_app(args.app)
+    compiled = compile_app(spec)
+    system = JitIseSystem()
+    result = system.run_application(
+        compiled.compilation,
+        dataset_size=spec.train.size,
+        dataset_seed=spec.train.seed,
+    )
+    print(f"{spec.name}: ASIP ratio {result.asip_ratio:.2f}x")
+    print(f"  VM/native ratio: {result.runtime.ratio:.2f}")
+    print(
+        f"  custom instructions: {result.specialization.candidate_count}, "
+        f"tool flow {format_hms(result.specialization.toolflow_seconds)} (m:s)"
+    )
+    print(f"  patched output identical: {result.output_equal}")
+    return 0 if result.output_equal else 1
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    from repro.core import AsipSpecializationProcess, TimelineSimulator
+    from repro.apps import compile_app, get_app
+    from repro.profiling import classify_blocks
+
+    spec = get_app(args.app)
+    compiled = compile_app(spec)
+    profiles = {ds.name: compiled.run(ds).profile for ds in spec.datasets}
+    coverage = classify_blocks(compiled.module, list(profiles.values()))
+    report = AsipSpecializationProcess().run(compiled.module, profiles["train"])
+    result = TimelineSimulator().simulate(
+        compiled.module, profiles["train"], coverage, report
+    )
+    print(result.event_log())
+    print(f"\nfinal live-code rate: {result.final_rate:.2f}x baseline")
+    for label, value in (
+        ("dedicated-host break-even", result.dedicated_break_even),
+        ("self-hosted break-even", result.self_hosted_break_even),
+    ):
+        print(
+            f"{label}: "
+            + (format_dhms(value) if math.isfinite(value) else "never")
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="JIT instruction-set-extension reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_tables = sub.add_parser("tables", help="regenerate the paper's tables")
+    p_tables.add_argument(
+        "which", nargs="?", default="all", choices=["1", "2", "3", "4", "all"]
+    )
+    p_tables.set_defaults(fn=_cmd_tables)
+
+    sub.add_parser("figures", help="print Figures 1 and 2").set_defaults(
+        fn=_cmd_figures
+    )
+    sub.add_parser("apps", help="list the benchmark suite").set_defaults(
+        fn=_cmd_apps
+    )
+
+    for name, fn, help_text in (
+        ("analyze", _cmd_analyze, "analyze one application"),
+        ("jit", _cmd_jit, "run the end-to-end JIT flow on one application"),
+        ("timeline", _cmd_timeline, "concurrent-specialization timeline"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("app", help="application name, e.g. fft or 470.lbm")
+        p.set_defaults(fn=fn)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""The paper's primary contribution: the just-in-time ASIP specialization
+process and its cost/benefit analysis.
+
+- :mod:`repro.core.asip_sp` — the three-phase ASIP-SP of Figure 2
+  (candidate search, netlist generation, instruction implementation),
+  producing per-candidate bitstreams and aggregate runtime overheads;
+- :mod:`repro.core.pipeline` — the end-to-end JIT tool flow of Figure 1
+  (VM execution, concurrent specialization, adaptation via binary patching);
+- :mod:`repro.core.breakeven` — break-even time models (Section V-D);
+- :mod:`repro.core.cache` — partial-bitstream caching (Section VI-A);
+- :mod:`repro.core.extrapolate` — cache x faster-CAD extrapolation
+  (Section VI-C, Table IV).
+"""
+
+from repro.core.asip_sp import (
+    AsipSpecializationProcess,
+    CandidateImplementation,
+    SpecializationReport,
+)
+from repro.core.breakeven import BreakEvenAnalysis, BreakEvenModel
+from repro.core.cache import BitstreamCache, CacheSimulation
+from repro.core.extrapolate import ExtrapolationGrid, extrapolate_break_even
+from repro.core.pipeline import JitIseSystem, AdaptationResult, render_figure1, render_figure2
+from repro.core.timeline import TimelineEvent, TimelineResult, TimelineSimulator
+
+__all__ = [
+    "AsipSpecializationProcess",
+    "CandidateImplementation",
+    "SpecializationReport",
+    "BreakEvenAnalysis",
+    "BreakEvenModel",
+    "BitstreamCache",
+    "CacheSimulation",
+    "ExtrapolationGrid",
+    "extrapolate_break_even",
+    "JitIseSystem",
+    "AdaptationResult",
+    "render_figure1",
+    "render_figure2",
+    "TimelineEvent",
+    "TimelineResult",
+    "TimelineSimulator",
+]

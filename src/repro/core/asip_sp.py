@@ -1,0 +1,145 @@
+"""The ASIP specialization process (Figure 2).
+
+Orchestrates the three phases for one application:
+
+1. **Candidate Search** (:class:`repro.ise.CandidateSearch`): pruning,
+   identification, estimation, selection — measured wall clock, reported
+   in milliseconds;
+2. **Netlist Generation** + 3. **Instruction Implementation**
+   (:class:`repro.fpga.CadToolFlow`): per selected candidate, produce the
+   partial bitstream — virtual wall clock, reported per stage.
+
+Structurally identical candidates (same signature) are implemented once and
+shared; the paper's per-candidate accounting still charges each candidate,
+matching its assumption that every candidate runs through the CAD flow
+(the bitstream cache of Section VI-A is modelled separately and *does*
+deduplicate charges).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fpga.toolflow import CadToolFlow, ImplementationResult
+from repro.fpga.timingmodel import StageTimes
+from repro.ir.module import Module
+from repro.ise.selection import CandidateSearch, CandidateSearchResult
+from repro.pivpav.estimator import CandidateEstimate
+from repro.vm.profiler import ExecutionProfile
+from repro.woolcano.reconfig import IcapModel, ReconfigurationEvent
+
+
+@dataclass
+class CandidateImplementation:
+    """One candidate with its hardware implementation and accounting."""
+
+    estimate: CandidateEstimate
+    implementation: ImplementationResult
+    shared_with_signature: bool  # True if reused a structurally equal impl.
+
+    @property
+    def times(self) -> StageTimes:
+        return self.implementation.times
+
+
+@dataclass
+class SpecializationReport:
+    """Aggregate outcome of the ASIP-SP for one application."""
+
+    search: CandidateSearchResult
+    implementations: list[CandidateImplementation]
+    reconfigurations: list[ReconfigurationEvent]
+    # Candidates whose CAD implementation failed (e.g. too large for the
+    # partial region): (estimate, error message). Their software fallback
+    # keeps the application correct; they contribute no overhead/savings.
+    failed: list[tuple[CandidateEstimate, str]] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.failed is None:
+            self.failed = []
+
+    # -- aggregate overheads (Table II columns) ------------------------------
+    @property
+    def candidate_count(self) -> int:
+        return len(self.implementations)
+
+    @property
+    def const_seconds(self) -> float:
+        """Sum of constant stages over all candidates ("const" column)."""
+        return sum(ci.times.constant_sum for ci in self.implementations)
+
+    @property
+    def map_seconds(self) -> float:
+        return sum(ci.times.map for ci in self.implementations)
+
+    @property
+    def par_seconds(self) -> float:
+        return sum(ci.times.par for ci in self.implementations)
+
+    @property
+    def toolflow_seconds(self) -> float:
+        """Total hardware-generation overhead ("sum" column)."""
+        return self.const_seconds + self.map_seconds + self.par_seconds
+
+    @property
+    def reconfiguration_seconds(self) -> float:
+        return sum(ev.seconds for ev in self.reconfigurations)
+
+    @property
+    def total_overhead_seconds(self) -> float:
+        """Everything between 'program starts' and 'ASIP ready'."""
+        return (
+            self.search.search_seconds
+            + self.toolflow_seconds
+            + self.reconfiguration_seconds
+        )
+
+
+@dataclass
+class AsipSpecializationProcess:
+    """Configured ASIP-SP pipeline."""
+
+    search: CandidateSearch = field(default_factory=CandidateSearch)
+    toolflow: CadToolFlow = field(default_factory=CadToolFlow)
+    icap: IcapModel = field(default_factory=IcapModel)
+
+    def run(self, module: Module, profile: ExecutionProfile) -> SpecializationReport:
+        search_result = self.search.run(module, profile)
+
+        implementations: list[CandidateImplementation] = []
+        reconfigurations: list[ReconfigurationEvent] = []
+        failed: list[tuple[CandidateEstimate, str]] = []
+        by_signature: dict[int, ImplementationResult] = {}
+        for custom_id, est in enumerate(search_result.selected):
+            sig = est.candidate.signature
+            shared = sig in by_signature
+            if shared:
+                impl = by_signature[sig]
+            else:
+                try:
+                    impl = self.toolflow.implement(est.candidate)
+                except Exception as exc:  # CAD failure: software fallback
+                    from repro.fpga.placer import PlacementError
+                    from repro.fpga.router import RoutingError
+
+                    if not isinstance(exc, (PlacementError, RoutingError)):
+                        raise
+                    failed.append((est, str(exc)))
+                    continue
+                by_signature[sig] = impl
+            implementations.append(
+                CandidateImplementation(
+                    estimate=est,
+                    implementation=impl,
+                    shared_with_signature=shared,
+                )
+            )
+            reconfigurations.append(
+                self.icap.reconfigure(custom_id, impl.bitstream)
+            )
+        return SpecializationReport(
+            search=search_result,
+            implementations=implementations,
+            reconfigurations=reconfigurations,
+            failed=failed,
+        )

@@ -1,0 +1,160 @@
+"""End-to-end JIT ISE system (Figure 1).
+
+:class:`JitIseSystem` drives one application through the complete flow:
+
+1. compile source to bitcode (traditional-compiler half of Figure 1),
+2. execute on the VM with profiling,
+3. run the ASIP specialization process concurrently (modelled: the VM keeps
+   executing at software speed until the bitstreams are ready),
+4. **adapt**: reconfigure the fabric and patch the binary to use the new
+   custom instructions,
+5. re-execute and verify output equivalence; report speedups and overheads.
+
+Also provides textual renderings of the paper's two structural figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.asip_sp import AsipSpecializationProcess, SpecializationReport
+from repro.frontend.compiler import CompilationResult
+from repro.ir.verifier import verify_module
+from repro.vm.interpreter import ExecutionResult, Interpreter
+from repro.vm.jitruntime import JitRuntimeModel, RuntimeEstimate
+from repro.vm.patcher import BinaryPatcher
+from repro.woolcano.machine import AsipSpeedup, WoolcanoMachine
+
+
+@dataclass
+class AdaptationResult:
+    """Outcome of the adaptation phase for one application."""
+
+    compilation: CompilationResult
+    baseline: ExecutionResult
+    adapted: ExecutionResult
+    runtime: RuntimeEstimate
+    specialization: SpecializationReport
+    speedup: AsipSpeedup
+    output_equal: bool
+
+    @property
+    def asip_ratio(self) -> float:
+        return self.speedup.ratio
+
+
+@dataclass
+class JitIseSystem:
+    """A configured just-in-time instruction-set-extension system."""
+
+    asip_sp: AsipSpecializationProcess = field(
+        default_factory=AsipSpecializationProcess
+    )
+    machine: WoolcanoMachine = field(default_factory=WoolcanoMachine)
+    runtime_model: JitRuntimeModel = field(default_factory=JitRuntimeModel)
+
+    def run_application(
+        self,
+        compilation: CompilationResult,
+        entry: str = "main",
+        args: list | None = None,
+        dataset_size: int = 0,
+        dataset_seed: int = 1,
+    ) -> AdaptationResult:
+        module = compilation.module
+
+        # VM execution with profiling (the "VM" path of Figure 1).
+        baseline = Interpreter(
+            module, dataset_size=dataset_size, dataset_seed=dataset_seed
+        ).run(entry, args)
+        runtime = self.runtime_model.estimate(module, baseline.profile)
+
+        # ASIP specialization runs concurrently with execution.
+        report = self.asip_sp.run(module, baseline.profile)
+
+        # Speedup accounting must read the *unpatched* module (the patched
+        # one contains CUSTOM instructions the base cost model cannot price).
+        speedup = self.machine.speedup(
+            module,
+            baseline.profile,
+            [ci.estimate for ci in report.implementations],
+        )
+
+        # Adaptation: patch the binary to use the custom instructions.
+        patcher = BinaryPatcher()
+        patcher.patch_module(
+            module, [ci.estimate.candidate for ci in report.implementations]
+        )
+        verify_module(module)
+        interp = Interpreter(
+            module, dataset_size=dataset_size, dataset_seed=dataset_seed
+        )
+        patcher.install(interp)
+        adapted = interp.run(entry, args)
+        return AdaptationResult(
+            compilation=compilation,
+            baseline=baseline,
+            adapted=adapted,
+            runtime=runtime,
+            specialization=report,
+            speedup=speedup,
+            output_equal=baseline.output == adapted.output,
+        )
+
+
+FIGURE1 = """\
+                 source code
+                      |
+        +-------------+--------------+
+        |                            |
+  Traditional Compiler (TC)     bitcode (IR)
+  - static translation               |
+  - tools: linker, assembler    Virtual Machine (VM)
+        |                       - interpretation (eval)
+   machine code                 - dynamic translation (JIT)
+        |                       - info: runtime, profile
+   CPU execution                - optimizations: hotspot, ...
+                                     |
+                         +-----------+-----------+
+                         |                       |
+                   CPU execution        ASIP Specialization
+                (PowerPC-405 core)           Process
+                         |                       |
+                         +-----------------------+
+                                     |
+                    Woolcano architecture: PowerPC-405
+                    + HW Custom Instructions (CI)
+"""
+
+FIGURE2 = """\
+  bitcode (IR)
+      |
+  [ Candidate Search ]
+      |  Pruner (@50pS3L)
+      |  Identification (ISE algorithms: MAXMISO)
+      |  Estimation (PivPav)
+      |  Selection
+      v
+  [ PivPav Netlist Generation ]        (struct. VHDL)
+      |  Generate VHDL
+      |  Extract Netlists
+      |  Create Project
+      v
+  [ PivPav Instruction Impl. ]
+      |  Check Syntax
+      |  Synthesis
+      |  Translate
+      |  Map & PAR
+      v
+  [ Partial Reconfiguration ] -> Bitstream
+"""
+
+
+def render_figure1() -> str:
+    """Textual rendering of the paper's Figure 1 (tool-flow overview)."""
+    return FIGURE1
+
+
+def render_figure2() -> str:
+    """Textual rendering of the paper's Figure 2 (ASIP-SP phases)."""
+    return FIGURE2

@@ -1,0 +1,258 @@
+"""Wall-clock timeline of concurrent JIT specialization (extension).
+
+The paper's break-even analysis treats the ASIP-SP as a lump cost. Figure 1
+however shows the specialization running *concurrently* with the executing
+application, with custom instructions activated as their bitstreams become
+ready. This module simulates that timeline:
+
+- at t=0 the application starts processing input on the VM;
+- the candidate search completes within milliseconds; the CAD flow then
+  implements candidates one after another (the paper's tool flow is
+  single-threaded), each taking its virtual stage time;
+- whenever a bitstream completes, the fabric is reconfigured and the
+  corresponding custom instruction activates, raising the application's
+  processing rate (live-code model);
+- two accounting scenarios:
+
+  * **dedicated host** — the CAD tools run on a separate workstation (the
+    paper's setup). The application never slows down; break-even is when
+    the accumulated *saved* execution time equals the total tool cost
+    (the paper's amortization question, but with incremental activation).
+  * **self-hosted** — CAD tools share the CPU with the application, which
+    runs at a reduced share until specialization finishes. Break-even is
+    the wall-clock crossover against a never-specialized baseline.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.asip_sp import SpecializationReport
+from repro.ir.module import Module
+from repro.profiling.coverage import BlockClass, CoverageAnalysis
+from repro.vm.costmodel import CostModel, PPC405_COST_MODEL
+from repro.vm.profiler import ExecutionProfile, static_block_costs
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One event on the specialization timeline."""
+
+    time: float  # wall-clock seconds since application start
+    kind: str  # "search" | "bitstream" | "activate" | "break_even"
+    detail: str
+
+
+@dataclass
+class TimelineResult:
+    """Outcome of a timeline simulation."""
+
+    events: list[TimelineEvent]
+    specialization_done: float  # when the last candidate activated
+    final_rate: float  # steady-state work rate relative to baseline (>1)
+    # Dedicated-host accounting: when do accumulated savings repay the cost?
+    dedicated_break_even: float  # math.inf if never
+    # Self-hosted accounting: wall-clock crossover vs. never specializing.
+    self_hosted_break_even: float  # math.inf if never
+
+    def event_log(self) -> str:
+        lines = []
+        for ev in self.events:
+            lines.append(f"t={ev.time:10.2f}s  {ev.kind:10s}  {ev.detail}")
+        return "\n".join(lines)
+
+
+@dataclass
+class TimelineSimulator:
+    """Simulates the concurrent JIT specialization timeline."""
+
+    cost_model: CostModel = PPC405_COST_MODEL
+    # CPU share left to the application while it hosts the CAD tools.
+    self_hosted_app_share: float = 0.5
+
+    def simulate(
+        self,
+        module: Module,
+        profile: ExecutionProfile,
+        coverage: CoverageAnalysis,
+        report: SpecializationReport,
+    ) -> TimelineResult:
+        cm = self.cost_model
+        costs = static_block_costs(module, cm)
+
+        # Live-code execution time of one profiled workload unit, per
+        # incremental candidate set (candidates activate in CAD order).
+        live_base = 0.0
+        for key, prof in profile.blocks.items():
+            if coverage.classes.get(key) is BlockClass.LIVE and key in costs:
+                live_base += prof.count * costs[key]
+        live_base_s = cm.seconds(live_base)
+
+        events: list[TimelineEvent] = []
+        search_s = report.search.search_seconds
+        events.append(
+            TimelineEvent(
+                search_s,
+                "search",
+                f"candidate search done: {report.candidate_count} candidates",
+            )
+        )
+
+        # Rate factor after activating the first k candidates: baseline
+        # live time divided by accelerated live time.
+        saved_per_block: dict[tuple[str, str], float] = {}
+        rate_after: list[float] = []
+        ready_at: list[float] = []
+        t = search_s
+        for ci in report.implementations:
+            t += ci.times.total
+            est = ci.estimate
+            key = (est.candidate.function, est.candidate.block)
+            if coverage.classes.get(key) is BlockClass.LIVE:
+                saved_per_block[key] = saved_per_block.get(key, 0.0) + max(
+                    0.0, est.cycles_saved
+                )
+            live_asip = 0.0
+            for bkey, prof in profile.blocks.items():
+                if coverage.classes.get(bkey) is not BlockClass.LIVE:
+                    continue
+                cost = costs.get(bkey)
+                if cost is None:
+                    continue
+                live_asip += prof.count * max(
+                    1.0, cost - saved_per_block.get(bkey, 0.0)
+                )
+            live_asip_s = cm.seconds(live_asip)
+            rate = live_base_s / live_asip_s if live_asip_s > 0 else 1.0
+            ready_at.append(t)
+            rate_after.append(rate)
+            events.append(
+                TimelineEvent(
+                    t,
+                    "bitstream",
+                    f"candidate #{est.candidate.index} "
+                    f"({est.candidate.function}/{est.candidate.block}) ready",
+                )
+            )
+            events.append(
+                TimelineEvent(
+                    t, "activate", f"live-code rate now {rate:.3f}x baseline"
+                )
+            )
+
+        final_rate = rate_after[-1] if rate_after else 1.0
+        done = ready_at[-1] if ready_at else search_s
+
+        dedicated = self._dedicated_break_even(
+            ready_at, rate_after, report, events
+        )
+        self_hosted = self._self_hosted_break_even(
+            ready_at, rate_after, done, events
+        )
+        return TimelineResult(
+            events=sorted(events, key=lambda e: (e.time, e.kind)),
+            specialization_done=done,
+            final_rate=final_rate,
+            dedicated_break_even=dedicated,
+            self_hosted_break_even=self_hosted,
+        )
+
+    # -- accounting ------------------------------------------------------------
+    @staticmethod
+    def _segments(ready_at: list[float], rate_after: list[float]):
+        """Piecewise-constant rate segments: (start, end, rate)."""
+        segments = []
+        prev_t = 0.0
+        prev_rate = 1.0
+        for t, rate in zip(ready_at, rate_after):
+            segments.append((prev_t, t, prev_rate))
+            prev_t, prev_rate = t, rate
+        segments.append((prev_t, math.inf, prev_rate))
+        return segments
+
+    def _dedicated_break_even(
+        self,
+        ready_at: list[float],
+        rate_after: list[float],
+        report: SpecializationReport,
+        events: list[TimelineEvent],
+    ) -> float:
+        """Savings integrate as (1 - 1/rate) per wall-clock second."""
+        cost = report.total_overhead_seconds
+        saved = 0.0
+        for start, end, rate in self._segments(ready_at, rate_after):
+            save_rate = 1.0 - 1.0 / rate if rate > 1.0 else 0.0
+            if save_rate <= 0.0:
+                continue
+            span = end - start
+            if math.isinf(span):
+                remaining = cost - saved
+                t_be = start + remaining / save_rate
+                events.append(
+                    TimelineEvent(
+                        t_be, "break_even", "tool cost amortized (dedicated host)"
+                    )
+                )
+                return t_be
+            segment_saving = save_rate * span
+            if saved + segment_saving >= cost:
+                t_be = start + (cost - saved) / save_rate
+                events.append(
+                    TimelineEvent(
+                        t_be, "break_even", "tool cost amortized (dedicated host)"
+                    )
+                )
+                return t_be
+            saved += segment_saving
+        return math.inf
+
+    def _self_hosted_break_even(
+        self,
+        ready_at: list[float],
+        rate_after: list[float],
+        done: float,
+        events: list[TimelineEvent],
+    ) -> float:
+        """Crossover of cumulative work vs. a never-specialized baseline.
+
+        While the CAD tools run (t < done), the application only gets
+        ``self_hosted_app_share`` of the CPU; afterwards it runs at the full
+        accelerated rate. Baseline runs at rate 1 throughout.
+        """
+        share = self.self_hosted_app_share
+        work = 0.0
+        deficit_time = None
+        for start, end, rate in self._segments(ready_at, rate_after):
+            effective = rate * (share if start < done else 1.0)
+            span = (min(end, done) if start < done else end) - start
+            # split segments at `done` boundary
+            boundaries = sorted({start, min(end, done), end})
+            for s, e in zip(boundaries, boundaries[1:]):
+                if e <= s:
+                    continue
+                eff = rate * (share if s < done else 1.0)
+                if math.isinf(e):
+                    if eff <= 1.0:
+                        return math.inf
+                    t_be = s + (s - work) / (eff - 1.0)
+                    events.append(
+                        TimelineEvent(
+                            t_be, "break_even", "caught up with baseline (self-hosted)"
+                        )
+                    )
+                    return t_be
+                # baseline work at time e is e; ours is work + eff*(e-s)
+                if work + eff * (e - s) >= e and eff > 1.0:
+                    t_be = (work - s * eff) / (1.0 - eff)
+                    if s <= t_be <= e:
+                        events.append(
+                            TimelineEvent(
+                                t_be,
+                                "break_even",
+                                "caught up with baseline (self-hosted)",
+                            )
+                        )
+                        return t_be
+                work += eff * (e - s)
+        return math.inf

@@ -1,0 +1,31 @@
+"""Experiment drivers: regenerate every table and figure of the paper.
+
+- :mod:`repro.experiments.runner` — per-application analysis pipeline
+  (compile, profile under all data sets, coverage, kernel, candidate
+  search with and without pruning, CAD implementation, break-even);
+- :mod:`repro.experiments.table1` .. :mod:`repro.experiments.table4` —
+  table generators printing the same rows/columns as the paper;
+- :mod:`repro.experiments.figures` — textual renderings of Figures 1/2.
+
+All results are deterministic; an in-process cache keeps each application's
+analysis shared across tables.
+"""
+
+from repro.experiments.runner import AppAnalysis, analyze_app, analyze_suite, clear_cache
+from repro.experiments.table1 import generate_table1
+from repro.experiments.table2 import generate_table2
+from repro.experiments.table3 import generate_table3
+from repro.experiments.table4 import generate_table4
+from repro.experiments.figures import generate_figures
+
+__all__ = [
+    "AppAnalysis",
+    "analyze_app",
+    "analyze_suite",
+    "clear_cache",
+    "generate_table1",
+    "generate_table2",
+    "generate_table3",
+    "generate_table4",
+    "generate_figures",
+]

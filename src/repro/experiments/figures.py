@@ -1,0 +1,13 @@
+"""Figures 1 and 2: structural diagrams (no measured data in the paper)."""
+
+from __future__ import annotations
+
+from repro.core.pipeline import render_figure1, render_figure2
+
+
+def generate_figures() -> dict[str, str]:
+    """Return textual renderings of both figures."""
+    return {
+        "figure1": render_figure1(),
+        "figure2": render_figure2(),
+    }

@@ -1,0 +1,135 @@
+"""Per-application analysis pipeline shared by all experiment drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.apps import ALL_APPS, AppSpec, CompiledApp, compile_app, get_app
+from repro.core.asip_sp import AsipSpecializationProcess, SpecializationReport
+from repro.core.breakeven import BreakEvenAnalysis, BreakEvenModel
+from repro.ise.pruning import NO_PRUNING, PruningFilter
+from repro.ise.selection import CandidateSearch, CandidateSearchResult
+from repro.profiling import CoverageAnalysis, KernelAnalysis, classify_blocks, compute_kernel
+from repro.vm.jitruntime import JitRuntimeModel, RuntimeEstimate
+from repro.vm.profiler import ExecutionProfile
+from repro.woolcano.machine import AsipSpeedup, WoolcanoMachine
+
+
+@dataclass
+class AppAnalysis:
+    """Everything the tables need for one application."""
+
+    spec: AppSpec
+    compiled: CompiledApp
+    profiles: dict[str, ExecutionProfile]  # dataset name -> profile
+    runtime: RuntimeEstimate
+    coverage: CoverageAnalysis
+    kernel: KernelAnalysis
+    search_full: CandidateSearchResult  # no pruning (ASIP upper bound)
+    search_pruned: CandidateSearchResult  # @50pS3L (Table II)
+    asip_max: AsipSpeedup
+    asip_pruned: AsipSpeedup
+    specialization: SpecializationReport
+    breakeven: BreakEvenAnalysis
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def domain(self) -> str:
+        return self.spec.domain
+
+    @property
+    def train_profile(self) -> ExecutionProfile:
+        return self.profiles[self.spec.train.name]
+
+    @property
+    def pruning_efficiency(self) -> float:
+        """(speedup/ident-time) gain of pruning vs. full search (Table II)."""
+        t_full = max(1e-6, self.search_full.search_seconds)
+        t_pruned = max(1e-6, self.search_pruned.search_seconds)
+        full_rate = self.asip_max.ratio / t_full
+        pruned_rate = self.asip_pruned.ratio / t_pruned
+        if full_rate <= 0:
+            return 0.0
+        return pruned_rate / full_rate
+
+
+_CACHE: dict[str, AppAnalysis] = {}
+
+
+def clear_cache() -> None:
+    _CACHE.clear()
+
+
+def analyze_app(
+    name: str,
+    machine: WoolcanoMachine | None = None,
+    use_cache: bool = True,
+) -> AppAnalysis:
+    """Run the complete analysis pipeline for one application."""
+    if use_cache and name in _CACHE:
+        return _CACHE[name]
+
+    spec = get_app(name)
+    machine = machine or WoolcanoMachine()
+    compiled = compile_app(spec)
+    module = compiled.module
+
+    profiles: dict[str, ExecutionProfile] = {}
+    for ds in spec.datasets:
+        profiles[ds.name] = compiled.run(ds).profile
+    train = profiles[spec.train.name]
+
+    runtime = JitRuntimeModel(cost_model=machine.cost_model).estimate(module, train)
+    coverage = classify_blocks(module, list(profiles.values()))
+    kernel = compute_kernel(module, train, cost_model=machine.cost_model)
+
+    search_full = CandidateSearch(
+        pruning=NO_PRUNING,
+        min_total_cycles_saved=0.0,
+        cost_model=machine.cost_model,
+    ).run(module, train)
+    asip_sp = AsipSpecializationProcess(
+        search=CandidateSearch(
+            pruning=PruningFilter(), cost_model=machine.cost_model
+        )
+    )
+    specialization = asip_sp.run(module, train)
+    search_pruned = specialization.search
+
+    asip_max = machine.speedup(module, train, search_full.selected)
+    asip_pruned = machine.speedup(module, train, search_pruned.selected)
+
+    breakeven = BreakEvenModel(cost_model=machine.cost_model).analyze(
+        module,
+        train,
+        coverage,
+        search_pruned.selected,
+        specialization.total_overhead_seconds,
+    )
+
+    analysis = AppAnalysis(
+        spec=spec,
+        compiled=compiled,
+        profiles=profiles,
+        runtime=runtime,
+        coverage=coverage,
+        kernel=kernel,
+        search_full=search_full,
+        search_pruned=search_pruned,
+        asip_max=asip_max,
+        asip_pruned=asip_pruned,
+        specialization=specialization,
+        breakeven=breakeven,
+    )
+    if use_cache:
+        _CACHE[name] = analysis
+    return analysis
+
+
+def analyze_suite(domain: str | None = None) -> list[AppAnalysis]:
+    """Analyze every application (optionally one domain), in paper order."""
+    apps = [a for a in ALL_APPS if domain is None or a.domain == domain]
+    return [analyze_app(a.name) for a in apps]

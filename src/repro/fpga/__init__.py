@@ -1,0 +1,50 @@
+"""FPGA CAD tool-flow simulator (Xilinx ISE 12.2 EAPR stand-in).
+
+Implements the Instruction Implementation phase of the paper's Figure 2 as
+an executable mini-CAD flow: VHDL syntax check -> synthesis -> translate ->
+technology mapping -> place-and-route -> partial bitstream generation.
+
+The algorithms run for real at model scale (the paper's tools are closed
+and orders of magnitude slower); the *reported* stage runtimes come from
+:mod:`repro.fpga.timingmodel`, calibrated to the constant overheads of the
+paper's Table III and the map/PAR ranges of Section V-C. This keeps the
+relationships the paper analyses (overhead proportional to candidate count,
+Bitgen ~85 % of constant cost, PAR/map ratio 1.4-2.5x) intact while staying
+deterministic and fast.
+"""
+
+from repro.fpga.device import FpgaDevice, VIRTEX4_FX100, PartialRegion
+from repro.fpga.project import CadProject
+from repro.fpga.syntax import VhdlSyntaxChecker, VhdlSyntaxError
+from repro.fpga.synthesis import Synthesizer, SynthesisError
+from repro.fpga.translate import Translator
+from repro.fpga.techmap import Mapper, MappedDesign
+from repro.fpga.placer import Placer, Placement
+from repro.fpga.router import Router, RoutedDesign
+from repro.fpga.bitgen import BitstreamGenerator, PartialBitstream
+from repro.fpga.timingmodel import CadTimingModel, StageTimes
+from repro.fpga.toolflow import CadToolFlow, ImplementationResult
+
+__all__ = [
+    "FpgaDevice",
+    "VIRTEX4_FX100",
+    "PartialRegion",
+    "CadProject",
+    "VhdlSyntaxChecker",
+    "VhdlSyntaxError",
+    "Synthesizer",
+    "SynthesisError",
+    "Translator",
+    "Mapper",
+    "MappedDesign",
+    "Placer",
+    "Placement",
+    "Router",
+    "RoutedDesign",
+    "BitstreamGenerator",
+    "PartialBitstream",
+    "CadTimingModel",
+    "StageTimes",
+    "CadToolFlow",
+    "ImplementationResult",
+]

@@ -1,0 +1,112 @@
+"""FPGA device models.
+
+The paper targets a Xilinx Virtex-4 FX100 ("a rather large device" — the
+constant tool-flow overheads scale with device capacity, Section VI-B).
+Custom instructions are implemented inside a fixed *partial reconfiguration
+region* of the fabric next to the PowerPC block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PartialRegion:
+    """A rectangular reconfigurable region (in CLB coordinates)."""
+
+    name: str
+    origin_col: int
+    origin_row: int
+    cols: int
+    rows: int
+    # How many mapped cells (model-scale slices) fit per CLB site.
+    cells_per_clb: int = 4
+
+    @property
+    def clb_count(self) -> int:
+        return self.cols * self.rows
+
+    @property
+    def cell_capacity(self) -> int:
+        return self.clb_count * self.cells_per_clb
+
+
+@dataclass(frozen=True)
+class FpgaDevice:
+    """A Virtex-4-style device model."""
+
+    name: str
+    clb_cols: int
+    clb_rows: int
+    luts_per_clb: int
+    dsp_blocks: int
+    bram_blocks: int
+    ppc_cores: int
+    config_frame_bytes: int
+    frames_per_clb_col: int
+    region: PartialRegion
+
+    @property
+    def total_luts(self) -> int:
+        return self.clb_cols * self.clb_rows * self.luts_per_clb
+
+    @property
+    def total_clbs(self) -> int:
+        return self.clb_cols * self.clb_rows
+
+    def full_bitstream_bytes(self) -> int:
+        return self.clb_cols * self.frames_per_clb_col * self.config_frame_bytes
+
+    def partial_bitstream_bytes(self) -> int:
+        """Size of a partial bitstream covering the region's columns.
+
+        Virtex-4 configuration is frame-based and column-oriented: a partial
+        bitstream must contain every frame of each touched column.
+        """
+        return self.region.cols * self.frames_per_clb_col * self.config_frame_bytes
+
+
+# Virtex-4 FX100: 42k slices / 84k LUTs arranged (model) as 192 x 56 CLBs,
+# 160 DSP48, 376 BRAM, 2 PPC405 cores. Frame geometry approximates the
+# XC4VFX100's 41-word frames (164 bytes).
+VIRTEX4_FX100 = FpgaDevice(
+    name="xc4vfx100",
+    clb_cols=56,
+    clb_rows=192,
+    luts_per_clb=8,
+    dsp_blocks=160,
+    bram_blocks=376,
+    ppc_cores=2,
+    config_frame_bytes=164,
+    frames_per_clb_col=1312,
+    region=PartialRegion(
+        name="ci_region",
+        origin_col=36,
+        origin_row=64,
+        cols=16,
+        rows=48,
+        cells_per_clb=4,
+    ),
+)
+
+# A smaller device for the Section VI-B discussion (faster constant stages).
+VIRTEX4_FX20 = FpgaDevice(
+    name="xc4vfx20",
+    clb_cols=36,
+    clb_rows=64,
+    luts_per_clb=8,
+    dsp_blocks=32,
+    bram_blocks=68,
+    ppc_cores=1,
+    config_frame_bytes=164,
+    frames_per_clb_col=832,
+    region=PartialRegion(
+        name="ci_region",
+        origin_col=20,
+        origin_row=16,
+        cols=12,
+        rows=32,
+        cells_per_clb=4,
+    ),
+)

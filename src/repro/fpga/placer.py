@@ -1,0 +1,158 @@
+"""Placement: simulated annealing inside the partial region.
+
+Minimises total half-perimeter wirelength (HPWL) of the inter-cell nets on
+the region's CLB grid. Deterministically seeded per design so results are
+reproducible. If the design does not fit the region, placement fails — the
+Woolcano region is sized for custom-instruction datapaths, not arbitrary
+logic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.fpga.device import PartialRegion
+from repro.fpga.techmap import MappedDesign
+from repro.util.rng import DeterministicRng
+
+
+class PlacementError(Exception):
+    """Raised when a design cannot be placed in the region."""
+
+
+@dataclass
+class Placement:
+    """Result of placement: cell index -> (col, row) plus quality metrics."""
+
+    locations: dict[int, tuple[int, int]]
+    initial_wirelength: float
+    final_wirelength: float
+    moves_attempted: int
+    moves_accepted: int
+
+    @property
+    def improvement(self) -> float:
+        if self.initial_wirelength <= 0:
+            return 0.0
+        return 1.0 - self.final_wirelength / self.initial_wirelength
+
+
+@dataclass
+class Placer:
+    """Simulated-annealing placer.
+
+    ``moves_per_cell`` bounds the annealing effort; the default is sized so
+    the largest candidate datapaths place in well under a second while still
+    achieving a measurable wirelength improvement (asserted by tests).
+    """
+
+    moves_per_cell: int = 40
+    initial_temperature_factor: float = 0.5
+    seed: int = 0
+
+    def place(self, design: MappedDesign, region: PartialRegion) -> Placement:
+        n_cells = design.cell_count
+        if n_cells == 0:
+            return Placement({}, 0.0, 0.0, 0, 0)
+        if n_cells > region.cell_capacity:
+            raise PlacementError(
+                f"design needs {n_cells} cells, region holds "
+                f"{region.cell_capacity}"
+            )
+        rng = DeterministicRng(f"placer/{n_cells}/{len(design.nets)}", self.seed)
+
+        # Initial placement: row-major packing.
+        cols = region.cols
+        rows = region.rows
+        per_site = region.cells_per_clb
+        sites = cols * rows * per_site
+        locations: dict[int, tuple[int, int]] = {}
+        site_of_cell: dict[int, int] = {}
+        cell_at_site: dict[int, int] = {}
+        for cell in design.cells:
+            site = len(site_of_cell)
+            site_of_cell[cell.index] = site
+            cell_at_site[site] = cell.index
+
+        def site_xy(site: int) -> tuple[int, int]:
+            clb = site // per_site
+            return (clb % cols, clb // cols)
+
+        # Net -> cells; cell -> nets index for incremental cost.
+        nets = design.nets
+        nets_of_cell: dict[int, list[int]] = {}
+        for ni, net in enumerate(nets):
+            for cell_idx in net:
+                nets_of_cell.setdefault(cell_idx, []).append(ni)
+
+        def net_hpwl(net: list[int]) -> float:
+            xs = []
+            ys = []
+            for cell_idx in net:
+                x, y = site_xy(site_of_cell[cell_idx])
+                xs.append(x)
+                ys.append(y)
+            return (max(xs) - min(xs)) + (max(ys) - min(ys))
+
+        total = sum(net_hpwl(net) for net in nets)
+        initial = total
+
+        anneal_moves = self.moves_per_cell * n_cells
+        greedy_moves = anneal_moves // 2  # final zero-temperature refinement
+        n_moves = anneal_moves + greedy_moves
+        temperature = max(1.0, self.initial_temperature_factor * math.sqrt(total + 1))
+        cooling = 0.95 ** (1.0 / max(1, anneal_moves // 100))
+        accepted = 0
+
+        cell_indices = [c.index for c in design.cells]
+        for move_no in range(n_moves):
+            greedy = move_no >= anneal_moves
+            cell_idx = cell_indices[int(rng.integers(0, n_cells))]
+            old_site = site_of_cell[cell_idx]
+            new_site = int(rng.integers(0, sites))
+            if new_site == old_site:
+                continue
+            other = cell_at_site.get(new_site)
+
+            affected = set(nets_of_cell.get(cell_idx, ()))
+            if other is not None:
+                affected |= set(nets_of_cell.get(other, ()))
+            before = sum(net_hpwl(nets[ni]) for ni in affected)
+
+            # swap / move
+            site_of_cell[cell_idx] = new_site
+            cell_at_site[new_site] = cell_idx
+            if other is not None:
+                site_of_cell[other] = old_site
+                cell_at_site[old_site] = other
+            else:
+                del cell_at_site[old_site]
+
+            after = sum(net_hpwl(nets[ni]) for ni in affected)
+            delta = after - before
+            if delta <= 0 or (
+                not greedy and rng.random() < math.exp(-delta / temperature)
+            ):
+                total += delta
+                accepted += 1
+            else:
+                # revert
+                site_of_cell[cell_idx] = old_site
+                cell_at_site[old_site] = cell_idx
+                if other is not None:
+                    site_of_cell[other] = new_site
+                    cell_at_site[new_site] = other
+                else:
+                    del cell_at_site[new_site]
+            temperature = max(0.01, temperature * cooling)
+
+        for cell in design.cells:
+            locations[cell.index] = site_xy(site_of_cell[cell.index])
+        return Placement(
+            locations=locations,
+            initial_wirelength=float(initial),
+            final_wirelength=float(total),
+            moves_attempted=n_moves,
+            moves_accepted=accepted,
+        )

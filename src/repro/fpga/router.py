@@ -1,0 +1,81 @@
+"""Routing estimate.
+
+A channel-capacity router model: each net contributes demand along its
+bounding box (uniform distribution assumption); per-channel congestion and a
+net-delay estimate (distance-proportional plus congestion penalty) are
+computed. Routing fails only on gross capacity overflow, which for
+datapath-sized designs in a dedicated region does not happen — matching the
+paper, which never reports PAR failures, only long runtimes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fpga.device import PartialRegion
+from repro.fpga.placer import Placement
+from repro.fpga.techmap import MappedDesign
+
+
+class RoutingError(Exception):
+    """Raised on channel-capacity overflow."""
+
+
+@dataclass
+class RoutedDesign:
+    """Routing result: wirelength, congestion and timing estimates."""
+
+    total_wirelength: float
+    max_channel_utilization: float
+    critical_delay_ns: float
+    net_count: int
+
+    @property
+    def routable(self) -> bool:
+        return self.max_channel_utilization <= 1.0
+
+
+@dataclass
+class Router:
+    """Bounding-box congestion router model."""
+
+    channel_capacity: float = 48.0  # tracks per CLB channel (V4-ish)
+    delay_per_clb_ns: float = 0.35
+    congestion_delay_factor: float = 2.0
+
+    def route(
+        self, design: MappedDesign, placement: Placement, region: PartialRegion
+    ) -> RoutedDesign:
+        cols, rows = region.cols, region.rows
+        demand = np.zeros((cols, rows), dtype=float)
+        total_wl = 0.0
+        max_net_span = 0.0
+
+        for net in design.nets:
+            xs = [placement.locations[c][0] for c in net]
+            ys = [placement.locations[c][1] for c in net]
+            x0, x1 = min(xs), max(xs)
+            y0, y1 = min(ys), max(ys)
+            span = (x1 - x0) + (y1 - y0)
+            total_wl += span
+            max_net_span = max(max_net_span, span)
+            area = max(1, (x1 - x0 + 1) * (y1 - y0 + 1))
+            demand[x0 : x1 + 1, y0 : y1 + 1] += span / area
+
+        utilization = float(demand.max()) / self.channel_capacity if design.nets else 0.0
+        if utilization > 1.5:
+            raise RoutingError(
+                f"channel utilization {utilization:.2f} exceeds capacity"
+            )
+        congestion_penalty = 1.0 + self.congestion_delay_factor * max(
+            0.0, utilization - 0.7
+        )
+        critical_delay = max_net_span * self.delay_per_clb_ns * congestion_penalty
+        return RoutedDesign(
+            total_wirelength=total_wl,
+            max_channel_utilization=utilization,
+            critical_delay_ns=critical_delay,
+            net_count=len(design.nets),
+        )

@@ -1,0 +1,332 @@
+"""VHDL syntax checker for the structural subset the datapath generator emits.
+
+The first CAD stage ("Check Syntax", 4.22 s constant in Table III). This is
+a real recursive-descent parser of the generated subset: library clauses,
+entity with port list, architecture with component declarations, signal
+declarations (optionally initialised), component instantiations with port
+maps, and concurrent signal assignments. It returns the parsed interface so
+synthesis can cross-check component usage against the netlist database.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+
+class VhdlSyntaxError(Exception):
+    """Raised when generated VHDL does not parse."""
+
+
+@dataclass
+class VhdlPort:
+    name: str
+    direction: str  # "in" | "out"
+    width: int
+
+
+@dataclass
+class VhdlInstance:
+    label: str
+    component: str
+    port_map: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class VhdlDesign:
+    """Parsed structural design."""
+
+    entity: str
+    ports: list[VhdlPort] = field(default_factory=list)
+    components: dict[str, list[VhdlPort]] = field(default_factory=dict)
+    signals: dict[str, int] = field(default_factory=dict)  # name -> width
+    instances: list[VhdlInstance] = field(default_factory=list)
+    assignments: list[tuple[str, str]] = field(default_factory=list)
+
+    def port(self, name: str) -> VhdlPort:
+        for p in self.ports:
+            if p.name == name:
+                return p
+        raise KeyError(name)
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(?:
+        (?P<comment>--[^\n]*)
+      | (?P<hex>x"[0-9a-fA-F]+")
+      | (?P<bin>"[01]+")
+      | (?P<bit>'[01]')
+      | (?P<id>[A-Za-z_][A-Za-z0-9_]*)
+      | (?P<num>\d+)
+      | (?P<arrow><=|=>)
+      | (?P<assign>:=)
+      | (?P<punct>[();:,.])
+    )
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(source: str) -> list[str]:
+    tokens: list[str] = []
+    pos = 0
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if not match:
+            rest = source[pos : pos + 20]
+            if rest.strip() == "":
+                break
+            raise VhdlSyntaxError(f"unexpected VHDL text near {rest!r}")
+        pos = match.end()
+        if match.lastgroup != "comment":
+            tokens.append(match.group().strip())
+    return [t for t in tokens if t]
+
+
+class VhdlSyntaxChecker:
+    """Parses the structural VHDL subset and validates its consistency."""
+
+    def check(self, source: str) -> VhdlDesign:
+        self.tokens = _tokenize(source)
+        self.pos = 0
+        self._skip_context_clauses()
+        design = self._parse_entity()
+        self._parse_architecture(design)
+        self._validate(design)
+        return design
+
+    # -- token helpers ---------------------------------------------------------
+    def _peek(self) -> str:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else ""
+
+    def _next(self) -> str:
+        tok = self._peek()
+        if not tok:
+            raise VhdlSyntaxError("unexpected end of file")
+        self.pos += 1
+        return tok
+
+    def _expect(self, expected: str) -> str:
+        tok = self._next()
+        if tok.lower() != expected.lower():
+            raise VhdlSyntaxError(f"expected {expected!r}, found {tok!r}")
+        return tok
+
+    def _accept(self, expected: str) -> bool:
+        if self._peek().lower() == expected.lower():
+            self.pos += 1
+            return True
+        return False
+
+    # -- grammar -----------------------------------------------------------
+    def _skip_context_clauses(self) -> None:
+        while self._peek().lower() in ("library", "use"):
+            while self._next() != ";":
+                pass
+
+    def _parse_type(self) -> int:
+        tok = self._next().lower()
+        if tok == "std_logic":
+            return 1
+        if tok == "std_logic_vector":
+            self._expect("(")
+            high = int(self._next())
+            self._expect("downto")
+            low = int(self._next())
+            self._expect(")")
+            if low != 0 or high < 0:
+                raise VhdlSyntaxError(f"unsupported vector range {high}..{low}")
+            return high + 1
+        raise VhdlSyntaxError(f"unsupported type {tok!r}")
+
+    def _parse_port_list(self) -> list[VhdlPort]:
+        ports: list[VhdlPort] = []
+        self._expect("port")
+        self._expect("(")
+        while True:
+            name = self._next()
+            self._expect(":")
+            direction = self._next().lower()
+            if direction not in ("in", "out"):
+                raise VhdlSyntaxError(f"bad port direction {direction!r}")
+            width = self._parse_type()
+            ports.append(VhdlPort(name, direction, width))
+            if self._accept(")"):
+                break
+            self._expect(";")
+        self._expect(";")
+        return ports
+
+    def _parse_entity(self) -> VhdlDesign:
+        self._expect("entity")
+        name = self._next()
+        self._expect("is")
+        design = VhdlDesign(entity=name)
+        design.ports = self._parse_port_list()
+        self._expect("end")
+        self._accept("entity")
+        end_name = self._next()
+        if end_name != name:
+            raise VhdlSyntaxError(
+                f"entity end name {end_name!r} does not match {name!r}"
+            )
+        self._expect(";")
+        return design
+
+    def _parse_architecture(self, design: VhdlDesign) -> None:
+        self._expect("architecture")
+        self._next()  # architecture name
+        self._expect("of")
+        ename = self._next()
+        if ename != design.entity:
+            raise VhdlSyntaxError(
+                f"architecture of {ename!r} does not match entity {design.entity!r}"
+            )
+        self._expect("is")
+        # declarations
+        while True:
+            tok = self._peek().lower()
+            if tok == "component":
+                self._parse_component(design)
+            elif tok == "signal":
+                self._parse_signal(design)
+            elif tok == "begin":
+                self._next()
+                break
+            else:
+                raise VhdlSyntaxError(f"unexpected declaration {tok!r}")
+        # statements
+        while True:
+            tok = self._peek()
+            if tok.lower() == "end":
+                self._next()
+                self._accept("architecture")
+                self._next()  # arch name
+                self._expect(";")
+                break
+            self._parse_statement(design)
+
+    def _parse_component(self, design: VhdlDesign) -> None:
+        self._expect("component")
+        name = self._next()
+        if name in design.components:
+            raise VhdlSyntaxError(f"duplicate component declaration {name!r}")
+        ports = self._parse_port_list()
+        self._expect("end")
+        self._expect("component")
+        self._expect(";")
+        design.components[name] = ports
+
+    def _parse_signal(self, design: VhdlDesign) -> None:
+        self._expect("signal")
+        name = self._next()
+        self._expect(":")
+        width = self._parse_type()
+        if self._accept(":="):
+            literal = self._next()
+            self._validate_literal(literal, width)
+        self._expect(";")
+        if name in design.signals:
+            raise VhdlSyntaxError(f"duplicate signal {name!r}")
+        design.signals[name] = width
+
+    @staticmethod
+    def _validate_literal(literal: str, width: int) -> None:
+        if literal.startswith('x"'):
+            digits = len(literal) - 3
+            if digits * 4 != width:
+                raise VhdlSyntaxError(
+                    f"hex literal {literal} does not match width {width}"
+                )
+        elif literal.startswith('"'):
+            if len(literal) - 2 != width:
+                raise VhdlSyntaxError(
+                    f"binary literal {literal} does not match width {width}"
+                )
+        elif literal.startswith("'"):
+            if width != 1:
+                raise VhdlSyntaxError("bit literal on vector signal")
+        else:
+            raise VhdlSyntaxError(f"unsupported initialiser {literal!r}")
+
+    def _parse_statement(self, design: VhdlDesign) -> None:
+        label_or_target = self._next()
+        if self._accept(":"):
+            component = self._next()
+            inst = VhdlInstance(label=label_or_target, component=component)
+            self._expect("port")
+            self._expect("map")
+            self._expect("(")
+            while True:
+                formal = self._next()
+                self._expect("=>")
+                actual = self._next()
+                inst.port_map[formal] = actual
+                if self._accept(")"):
+                    break
+                self._expect(",")
+            self._expect(";")
+            design.instances.append(inst)
+        else:
+            self._expect("<=")
+            source = self._next()
+            self._expect(";")
+            design.assignments.append((label_or_target, source))
+
+    # -- semantic validation ---------------------------------------------------
+    def _validate(self, design: VhdlDesign) -> None:
+        port_names = {p.name for p in design.ports}
+
+        def width_of(name: str) -> int | None:
+            if name in design.signals:
+                return design.signals[name]
+            for p in design.ports:
+                if p.name == name:
+                    return p.width
+            return None
+
+        for inst in design.instances:
+            comp = design.components.get(inst.component)
+            if comp is None:
+                raise VhdlSyntaxError(
+                    f"instance {inst.label} uses undeclared component "
+                    f"{inst.component!r}"
+                )
+            comp_ports = {p.name: p for p in comp}
+            for formal, actual in inst.port_map.items():
+                if formal not in comp_ports:
+                    raise VhdlSyntaxError(
+                        f"{inst.label}: component {inst.component} has no port "
+                        f"{formal!r}"
+                    )
+                w = width_of(actual)
+                if w is None:
+                    raise VhdlSyntaxError(
+                        f"{inst.label}: actual {actual!r} is not a signal or port"
+                    )
+                if w != comp_ports[formal].width:
+                    raise VhdlSyntaxError(
+                        f"{inst.label}: width mismatch on {formal} "
+                        f"({w} vs {comp_ports[formal].width})"
+                    )
+            missing = set(comp_ports) - set(inst.port_map)
+            if missing:
+                raise VhdlSyntaxError(
+                    f"{inst.label}: unconnected ports {sorted(missing)}"
+                )
+        for target, source in design.assignments:
+            if target not in port_names and target not in design.signals:
+                raise VhdlSyntaxError(f"assignment to unknown target {target!r}")
+            if source not in design.signals and source not in port_names:
+                raise VhdlSyntaxError(f"assignment from unknown source {source!r}")
+            tw = design.signals.get(target)
+            if tw is None:
+                tw = design.port(target).width if target in port_names else None
+            sw = design.signals.get(source)
+            if sw is None and source in port_names:
+                sw = design.port(source).width
+            if tw is not None and sw is not None and tw != sw:
+                raise VhdlSyntaxError(
+                    f"assignment width mismatch {target}({tw}) <= {source}({sw})"
+                )

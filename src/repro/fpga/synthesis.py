@@ -1,0 +1,87 @@
+"""Synthesis (Xst stand-in).
+
+"Since all the netlists for all hardware components are retrieved from a
+database there is no need to re-synthesize them. The synthesis process thus
+has to generate a netlist just for the top level module." (Section V-C)
+
+Synthesis here elaborates the parsed VHDL design: it checks every component
+against the project's pre-extracted core netlists, builds the top-level
+netlist (port buffers + glue), and merges the core netlists into it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fpga.project import CadProject
+from repro.fpga.syntax import VhdlDesign
+from repro.pivpav.netlist import Netlist
+
+
+class SynthesisError(Exception):
+    """Raised when elaboration fails (missing cores, dangling nets)."""
+
+
+@dataclass
+class SynthesizedDesign:
+    """Output of synthesis: the flat top-level netlist plus statistics."""
+
+    netlist: Netlist
+    instance_count: int
+    glue_luts: int
+
+
+class Synthesizer:
+    """Builds the top-level netlist from a checked VHDL design."""
+
+    def synthesize(self, design: VhdlDesign, project: CadProject) -> SynthesizedDesign:
+        top = Netlist(design.entity)
+
+        # Port buffers: each entity port becomes an IOB-like primitive at
+        # the region boundary (FCB interface registers in Woolcano terms).
+        for port in design.ports:
+            idx = top.add_primitive("IOBUF", f"{design.entity}/{port.name}_buf")
+            top.connect(port.name, idx, 0)
+            top.add_port(port.name)
+
+        # Instance glue: each instance's port-map nets exist in the top.
+        glue_luts = 0
+        for inst in design.instances:
+            if inst.component not in project.core_netlists:
+                raise SynthesisError(
+                    f"component {inst.component!r} has no netlist in the project"
+                )
+            # One glue LUT per port-map connection beyond clk models the
+            # boundary routing/logic Xst introduces for the top module.
+            for formal, actual in inst.port_map.items():
+                if formal == "clk":
+                    continue
+                idx = top.add_primitive("LUT4", f"glue/{inst.label}/{formal}")
+                top.connect(actual, idx, 0)
+                top.connect(f"{inst.label}.{formal}", idx, 4)
+                glue_luts += 1
+
+        # Continuous assignments become route-through LUTs.
+        for target, source in design.assignments:
+            idx = top.add_primitive("LUT4", f"assign/{target}")
+            top.connect(source, idx, 0)
+            top.connect(target, idx, 4)
+            glue_luts += 1
+
+        # Merge pre-synthesized core netlists (the netlist cache bypass).
+        merged = top
+        for inst in design.instances:
+            core_nl = project.core_netlists[inst.component]
+            merged = merged.merged_with(core_nl, inst.label)
+
+        # Sanity: every assignment source must be driven somewhere.
+        driven = set(merged.nets)
+        for target, source in design.assignments:
+            if source not in driven:
+                raise SynthesisError(f"net {source!r} has no driver")
+
+        return SynthesizedDesign(
+            netlist=merged,
+            instance_count=len(design.instances),
+            glue_luts=glue_luts,
+        )

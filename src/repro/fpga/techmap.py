@@ -1,0 +1,140 @@
+"""Technology mapping (map stand-in).
+
+Packs the flat netlist's primitives into slice-like cells: LUT4+FDRE pairs
+share a cell when connected (the classic LUT/FF packing), DSP48 and RAMB16
+occupy dedicated cells. The mapper is connectivity-greedy: it prefers to
+pack a flip-flop with the LUT that drives it, which reduces inter-cell nets
+and gives the placer a meaningful problem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fpga.translate import GenericDatabase
+
+
+@dataclass
+class MappedCell:
+    """One placeable cell (slice / DSP site / BRAM site)."""
+
+    index: int
+    kind: str  # "SLICE" | "DSP" | "BRAM" | "IOB"
+    members: list[int] = field(default_factory=list)  # primitive indices
+
+
+@dataclass
+class MappedDesign:
+    """Mapping result: cells plus inter-cell nets."""
+
+    cells: list[MappedCell]
+    # nets as lists of cell indices (deduplicated, >=2 cells each)
+    nets: list[list[int]]
+    lut_count: int
+    ff_count: int
+    dsp_count: int
+    bram_count: int
+
+    @property
+    def cell_count(self) -> int:
+        return len(self.cells)
+
+
+class Mapper:
+    """Greedy connectivity-aware packer."""
+
+    def map(self, database: GenericDatabase) -> MappedDesign:
+        netlist = database.netlist
+        cell_of_prim: dict[int, int] = {}
+        cells: list[MappedCell] = []
+
+        def new_cell(kind: str) -> MappedCell:
+            cell = MappedCell(index=len(cells), kind=kind)
+            cells.append(cell)
+            return cell
+
+        counts = {"LUT4": 0, "FDRE": 0, "DSP48": 0, "RAMB16": 0}
+
+        # Pass 1: find LUT -> FF driving pairs for packing.
+        # A LUT's output pin is pin 4; if that net feeds exactly one FDRE
+        # data pin (pin 0), pack them together.
+        lut_of_ff: dict[int, int] = {}
+        for net, conns in netlist.nets.items():
+            driver_lut = None
+            ff_sinks = []
+            other_sinks = 0
+            for prim_idx, pin_idx in conns:
+                if prim_idx < 0:
+                    other_sinks += 1
+                    continue
+                prim = netlist.primitives[prim_idx]
+                if prim.kind == "LUT4" and pin_idx == 4:
+                    driver_lut = prim_idx
+                elif prim.kind == "FDRE" and pin_idx == 0:
+                    ff_sinks.append(prim_idx)
+                else:
+                    other_sinks += 1
+            if driver_lut is not None and len(ff_sinks) == 1 and other_sinks == 0:
+                lut_of_ff[ff_sinks[0]] = driver_lut
+
+        # Pass 2: create cells.
+        for prim_idx, prim in enumerate(netlist.primitives):
+            if prim_idx in cell_of_prim:
+                continue
+            if prim.kind == "LUT4":
+                counts["LUT4"] += 1
+                cell = new_cell("SLICE")
+                cell.members.append(prim_idx)
+                cell_of_prim[prim_idx] = cell.index
+            elif prim.kind == "FDRE":
+                counts["FDRE"] += 1
+                partner = lut_of_ff.get(prim_idx)
+                if partner is not None and partner in cell_of_prim:
+                    cell = cells[cell_of_prim[partner]]
+                    if len(cell.members) < 2:
+                        cell.members.append(prim_idx)
+                        cell_of_prim[prim_idx] = cell.index
+                        continue
+                cell = new_cell("SLICE")
+                cell.members.append(prim_idx)
+                cell_of_prim[prim_idx] = cell.index
+            elif prim.kind == "DSP48":
+                counts["DSP48"] += 1
+                cell = new_cell("DSP")
+                cell.members.append(prim_idx)
+                cell_of_prim[prim_idx] = cell.index
+            elif prim.kind == "RAMB16":
+                counts["RAMB16"] += 1
+                cell = new_cell("BRAM")
+                cell.members.append(prim_idx)
+                cell_of_prim[prim_idx] = cell.index
+            elif prim.kind == "IOBUF":
+                cell = new_cell("IOB")
+                cell.members.append(prim_idx)
+                cell_of_prim[prim_idx] = cell.index
+            else:  # pragma: no cover - unknown primitive kinds are a bug
+                raise ValueError(f"unmappable primitive kind {prim.kind}")
+
+        # Pass 3: inter-cell nets.
+        nets: list[list[int]] = []
+        for conns in netlist.nets.values():
+            touched: list[int] = []
+            seen: set[int] = set()
+            for prim_idx, _pin in conns:
+                if prim_idx < 0:
+                    continue
+                cell_idx = cell_of_prim[prim_idx]
+                if cell_idx not in seen:
+                    seen.add(cell_idx)
+                    touched.append(cell_idx)
+            if len(touched) >= 2:
+                nets.append(touched)
+
+        return MappedDesign(
+            cells=cells,
+            nets=nets,
+            lut_count=counts["LUT4"],
+            ff_count=counts["FDRE"],
+            dsp_count=counts["DSP48"],
+            bram_count=counts["RAMB16"],
+        )

@@ -1,0 +1,156 @@
+"""Virtual wall-clock model of the CAD tool flow, calibrated to Table III.
+
+The paper's measured stage runtimes on a Dell T3500 workstation with the
+Xilinx ISE 12.2 EAPR flow:
+
+=========  ==========  =======
+stage      mean [s]    stdev
+=========  ==========  =======
+C2V        3.22        0.10
+Syn        4.22        0.10
+Xst        10.60       0.23
+Tra        8.99        1.22
+Bitgen     151.00      2.43
+=========  ==========  =======
+
+plus variable stages: Map 40-456 s and PAR 56-728 s depending on candidate
+complexity, with PAR/Map between 1.4x (small) and 2.5x (large).
+
+The model reproduces the means, the (deterministic, seeded) spread, the
+complexity scaling, and the device dependence of the constant stages
+(Section VI-B: a smaller device would shrink them; Bitgen scales with the
+region's configuration volume).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fpga.device import FpgaDevice, VIRTEX4_FX100
+from repro.pivpav.netlist import NETLIST_SCALE
+from repro.util.rng import DeterministicRng
+
+# Reference complexity: effective LUT count at which Map hits its maximum.
+_REF_EFF_LUTS = 5500.0
+
+
+@dataclass(frozen=True)
+class StageTimes:
+    """Virtual runtimes (seconds) of each tool-flow stage for one candidate."""
+
+    c2v: float
+    syn: float
+    xst: float
+    tra: float
+    map: float
+    par: float
+    bitgen: float
+
+    @property
+    def constant_sum(self) -> float:
+        """Sum of the candidate-independent stages (Table III's Sum)."""
+        return self.c2v + self.syn + self.xst + self.tra + self.bitgen
+
+    @property
+    def total(self) -> float:
+        return self.constant_sum + self.map + self.par
+
+    def scaled(self, factor: float) -> "StageTimes":
+        """Uniformly scaled times (the 'faster CAD tool flow' of Table IV)."""
+        return StageTimes(
+            c2v=self.c2v * factor,
+            syn=self.syn * factor,
+            xst=self.xst * factor,
+            tra=self.tra * factor,
+            map=self.map * factor,
+            par=self.par * factor,
+            bitgen=self.bitgen * factor,
+        )
+
+
+@dataclass(frozen=True)
+class CadTimingModel:
+    """Produces per-candidate virtual stage times."""
+
+    device: FpgaDevice = VIRTEX4_FX100
+    c2v_mean: float = 3.22
+    c2v_std: float = 0.10
+    syn_mean: float = 4.22
+    syn_std: float = 0.10
+    xst_mean: float = 10.60
+    xst_std: float = 0.23
+    tra_mean: float = 8.99
+    tra_std: float = 1.22
+    bitgen_mean: float = 151.00
+    bitgen_std: float = 2.43
+    map_min: float = 40.0
+    map_max: float = 456.0
+    par_min: float = 56.0
+    par_max: float = 728.0
+    par_ratio_min: float = 1.4
+    par_ratio_max: float = 2.5
+    full_bitgen_mean: float = 41.0  # non-EAPR full-device bitstream
+
+    def _device_scale(self) -> float:
+        """Constant stages scale with device capacity (Section VI-B)."""
+        return self.device.total_clbs / VIRTEX4_FX100.total_clbs
+
+    def _bitgen_scale(self) -> float:
+        """Bitgen scales with the region's configuration volume."""
+        ref = VIRTEX4_FX100.partial_bitstream_bytes()
+        return self.device.partial_bitstream_bytes() / ref
+
+    @staticmethod
+    def effective_luts(lut_count: int, dsp_count: int, bram_count: int) -> float:
+        """Full-scale complexity measure from model-scale mapped counts."""
+        return (
+            lut_count * NETLIST_SCALE
+            + 50.0 * dsp_count
+            + 40.0 * bram_count
+        )
+
+    def stage_times(
+        self,
+        entity: str,
+        lut_count: int,
+        dsp_count: int = 0,
+        bram_count: int = 0,
+        component_count: int = 1,
+    ) -> StageTimes:
+        rng = DeterministicRng(f"cadtiming/{entity}")
+
+        def noisy(mean: float, std: float) -> float:
+            return max(0.1, mean + std * float(rng.normal()))
+
+        dscale = self._device_scale()
+        eff = self.effective_luts(lut_count, dsp_count, bram_count)
+        complexity = min(1.0, max(0.0, (eff - 50.0) / _REF_EFF_LUTS))
+
+        # Xst "changes only with the number of hardware components".
+        xst = noisy(self.xst_mean, self.xst_std) * dscale + 0.05 * component_count
+
+        map_time = (
+            self.map_min + (self.map_max - self.map_min) * complexity
+        ) * (1.0 + 0.04 * float(rng.normal()))
+        par_ratio = self.par_ratio_min + (
+            self.par_ratio_max - self.par_ratio_min
+        ) * complexity
+        par_time = map_time * par_ratio * (1.0 + 0.04 * float(rng.normal()))
+        # The paper's observed PAR range is 56-728 s; PAR saturates earlier
+        # than map x ratio would suggest for the very largest candidates.
+        par_time = min(par_time, self.par_max)
+        map_time = min(map_time, self.map_max)
+
+        return StageTimes(
+            c2v=noisy(self.c2v_mean, self.c2v_std),
+            syn=noisy(self.syn_mean, self.syn_std) * dscale,
+            xst=xst,
+            tra=noisy(self.tra_mean, self.tra_std) * dscale,
+            map=max(1.0, map_time),
+            par=max(1.0, par_time),
+            bitgen=noisy(self.bitgen_mean, self.bitgen_std) * self._bitgen_scale(),
+        )
+
+    def full_bitstream_seconds(self) -> float:
+        """Creating a full (non-EAPR) system bitstream (~41 s, Section V-C)."""
+        return self.full_bitgen_mean * self._device_scale()

@@ -1,0 +1,98 @@
+"""The complete per-candidate CAD tool flow (Figure 2, phases 2 and 3).
+
+Chains the Netlist Generation phase (PivPav: VHDL generation, netlist
+extraction, project creation — the C2V constant) and the Instruction
+Implementation phase (syntax check, synthesis, translate, map, place &
+route, bitstream generation) into one call that returns the partial
+bitstream plus per-stage virtual runtimes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fpga.bitgen import BitstreamGenerator, PartialBitstream
+from repro.fpga.device import FpgaDevice, VIRTEX4_FX100
+from repro.fpga.placer import Placement, Placer
+from repro.fpga.project import CadProject
+from repro.fpga.router import RoutedDesign, Router
+from repro.fpga.synthesis import Synthesizer
+from repro.fpga.syntax import VhdlSyntaxChecker
+from repro.fpga.techmap import MappedDesign, Mapper
+from repro.fpga.timingmodel import CadTimingModel, StageTimes
+from repro.fpga.translate import Translator
+from repro.ise.candidate import Candidate
+from repro.pivpav.netlistcache import NetlistCache
+from repro.pivpav.vhdlgen import DatapathGenerator, GeneratedVhdl
+
+
+@dataclass
+class ImplementationResult:
+    """Everything produced by implementing one candidate in hardware."""
+
+    candidate: Candidate
+    vhdl: GeneratedVhdl
+    bitstream: PartialBitstream
+    times: StageTimes
+    mapped: MappedDesign
+    placement: Placement
+    routed: RoutedDesign
+
+    @property
+    def entity_name(self) -> str:
+        return self.vhdl.entity_name
+
+
+@dataclass
+class CadToolFlow:
+    """Configured end-to-end implementation flow."""
+
+    device: FpgaDevice = VIRTEX4_FX100
+    timing: CadTimingModel | None = None
+    netlist_cache: NetlistCache = field(default_factory=NetlistCache)
+    datapath_generator: DatapathGenerator = field(default_factory=DatapathGenerator)
+
+    def __post_init__(self) -> None:
+        if self.timing is None:
+            self.timing = CadTimingModel(device=self.device)
+
+    def implement(self, candidate: Candidate) -> ImplementationResult:
+        """Run the full flow for one candidate."""
+        # Phase 2: Netlist Generation (PivPav).
+        vhdl = self.datapath_generator.generate(candidate)
+        project = CadProject(name=vhdl.entity_name, device=self.device)
+        project.add_vhdl(f"{vhdl.entity_name}.vhd", vhdl.source)
+        for core_name, netlist in self.netlist_cache.extract_all(
+            vhdl.core_names
+        ).items():
+            project.add_core_netlist(core_name, netlist)
+        project.configure_defaults()
+        project.top_entity = vhdl.entity_name
+
+        # Phase 3: Instruction Implementation.
+        design = VhdlSyntaxChecker().check(vhdl.source)
+        synthesized = Synthesizer().synthesize(design, project)
+        database = Translator().translate(synthesized, self.device)
+        mapped = Mapper().map(database)
+        placement = Placer().place(mapped, self.device.region)
+        routed = Router().route(mapped, placement, self.device.region)
+        bitstream = BitstreamGenerator().generate(
+            vhdl.entity_name, mapped, placement, self.device
+        )
+
+        times = self.timing.stage_times(
+            entity=vhdl.entity_name,
+            lut_count=mapped.lut_count,
+            dsp_count=mapped.dsp_count,
+            bram_count=mapped.bram_count,
+            component_count=len(vhdl.core_names),
+        )
+        return ImplementationResult(
+            candidate=candidate,
+            vhdl=vhdl,
+            bitstream=bitstream,
+            times=times,
+            mapped=mapped,
+            placement=placement,
+            routed=routed,
+        )

@@ -1,0 +1,71 @@
+"""Translate (ngdbuild stand-in).
+
+"All netlists and constraint files are consolidated into a single database"
+(Section V-C). Translation flattens the synthesized design with the region
+constraints into the generic database the mapper consumes, and runs design
+rule checks (dangling inputs, multiple drivers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fpga.device import FpgaDevice
+from repro.fpga.synthesis import SynthesizedDesign
+from repro.pivpav.netlist import Netlist
+
+
+class TranslateError(Exception):
+    """Design-rule-check failure during translation."""
+
+
+@dataclass
+class GenericDatabase:
+    """The translated design: flat netlist + constraints (NGD equivalent)."""
+
+    netlist: Netlist
+    constraints: dict[str, str] = field(default_factory=dict)
+    warnings: list[str] = field(default_factory=list)
+
+
+class Translator:
+    """Merges netlists and constraints; performs DRC."""
+
+    def translate(
+        self, design: SynthesizedDesign, device: FpgaDevice
+    ) -> GenericDatabase:
+        netlist = design.netlist
+        warnings: list[str] = []
+
+        # DRC 1: a net must not have more than one driver. By construction
+        # drivers are output pins (the last pin of each primitive); we check
+        # via pin-position convention: output pin index is >= 4 for LUT4,
+        # 2 for FDRE, 6 for DSP48, 4 for RAMB16, 0 for IOBUF/ports.
+        out_pin_min = {"LUT4": 4, "FDRE": 2, "DSP48": 6, "RAMB16": 4, "IOBUF": 0}
+        for net, conns in netlist.nets.items():
+            drivers = 0
+            for prim_idx, pin_idx in conns:
+                if prim_idx < 0:
+                    continue  # port connection
+                kind = netlist.primitives[prim_idx].kind
+                if kind == "IOBUF":
+                    continue
+                if pin_idx >= out_pin_min.get(kind, 99):
+                    drivers += 1
+            if drivers > 1:
+                raise TranslateError(f"net {net!r} has {drivers} drivers")
+            if drivers == 0 and not net.startswith("io") and len(conns) > 1:
+                warnings.append(f"net {net!r} is undriven")
+
+        constraints = {
+            "AREA_GROUP": device.region.name,
+            "RANGE": (
+                f"CLB_X{device.region.origin_col}Y{device.region.origin_row}:"
+                f"CLB_X{device.region.origin_col + device.region.cols - 1}"
+                f"Y{device.region.origin_row + device.region.rows - 1}"
+            ),
+            "MODE": "RECONFIG",
+        }
+        return GenericDatabase(
+            netlist=netlist, constraints=constraints, warnings=warnings
+        )

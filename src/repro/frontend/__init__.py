@@ -1,0 +1,38 @@
+"""MiniC frontend: a small C-like language compiled to the IR.
+
+Plays the role of llvm-gcc in the paper's tool flow. The 14 benchmark
+applications (:mod:`repro.apps`) are written in MiniC; :func:`compile_source`
+lexes, parses, type-checks and lowers them to IR, then runs the standard
+optimization pipeline (:func:`repro.ir.passes.standard_pipeline`).
+
+Language summary
+----------------
+- types: ``int`` (i32), ``long`` (i64), ``float`` (f32), ``double`` (f64),
+  ``void``, and pointers ``T*``;
+- globals (scalar or array, optionally initialised), local variables and
+  fixed-size local arrays;
+- functions with recursion; the usual C operators including short-circuit
+  ``&&``/``||``, ternary, compound assignment and pre/post increment;
+- control flow: ``if``/``else``, ``while``, ``for``, ``break``,
+  ``continue``, ``return``;
+- intrinsic calls (``sqrt``, ``sin``, ``print_i32``, ``malloc``, ``rand``,
+  ...) resolve to VM intrinsics.
+"""
+
+from repro.frontend.compiler import CompilationResult, compile_source, compile_files
+from repro.frontend.errors import CompileError
+from repro.frontend.lexer import Token, TokenKind, tokenize
+from repro.frontend.parser import Parser
+from repro.frontend import ast
+
+__all__ = [
+    "CompilationResult",
+    "compile_source",
+    "compile_files",
+    "CompileError",
+    "Token",
+    "TokenKind",
+    "tokenize",
+    "Parser",
+    "ast",
+]

@@ -1,0 +1,197 @@
+"""MiniC abstract syntax tree node definitions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class CType:
+    """A MiniC type: a base scalar name plus pointer depth."""
+
+    base: str  # "int" | "long" | "float" | "double" | "void"
+    pointer_depth: int = 0
+
+    @property
+    def is_pointer(self) -> bool:
+        return self.pointer_depth > 0
+
+    def pointee(self) -> "CType":
+        if not self.is_pointer:
+            raise ValueError(f"{self} is not a pointer")
+        return CType(self.base, self.pointer_depth - 1)
+
+    def pointer_to(self) -> "CType":
+        return CType(self.base, self.pointer_depth + 1)
+
+    def __str__(self) -> str:
+        return self.base + "*" * self.pointer_depth
+
+
+@dataclass
+class Node:
+    line: int = 0
+    column: int = 0
+
+
+# -- expressions ---------------------------------------------------------------
+@dataclass
+class Expr(Node):
+    pass
+
+
+@dataclass
+class IntLiteral(Expr):
+    value: int = 0
+
+
+@dataclass
+class FloatLiteral(Expr):
+    value: float = 0.0
+
+
+@dataclass
+class NameRef(Expr):
+    name: str = ""
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""
+    operand: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""
+    lhs: Expr = None  # type: ignore[assignment]
+    rhs: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class Conditional(Expr):
+    cond: Expr = None  # type: ignore[assignment]
+    if_true: Expr = None  # type: ignore[assignment]
+    if_false: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class Assign(Expr):
+    op: str = "="  # "=", "+=", ...
+    target: Expr = None  # type: ignore[assignment]
+    value: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class IncDec(Expr):
+    op: str = "++"
+    prefix: bool = True
+    target: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class Index(Expr):
+    base: Expr = None  # type: ignore[assignment]
+    index: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class Call(Expr):
+    name: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Cast(Expr):
+    target_type: CType = None  # type: ignore[assignment]
+    operand: Expr = None  # type: ignore[assignment]
+
+
+# -- statements ----------------------------------------------------------------
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class Block(Stmt):
+    statements: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class VarDecl(Stmt):
+    ctype: CType = None  # type: ignore[assignment]
+    name: str = ""
+    array_size: Optional[int] = None
+    init: Optional[Expr] = None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr = None  # type: ignore[assignment]
+    then_body: Stmt = None  # type: ignore[assignment]
+    else_body: Optional[Stmt] = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr = None  # type: ignore[assignment]
+    body: Stmt = None  # type: ignore[assignment]
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Stmt] = None  # VarDecl or ExprStmt
+    cond: Optional[Expr] = None
+    step: Optional[Expr] = None
+    body: Stmt = None  # type: ignore[assignment]
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+# -- top level -----------------------------------------------------------------
+@dataclass
+class Param(Node):
+    ctype: CType = None  # type: ignore[assignment]
+    name: str = ""
+
+
+@dataclass
+class FunctionDef(Node):
+    return_type: CType = None  # type: ignore[assignment]
+    name: str = ""
+    params: list[Param] = field(default_factory=list)
+    body: Block = None  # type: ignore[assignment]
+
+
+@dataclass
+class GlobalDecl(Node):
+    ctype: CType = None  # type: ignore[assignment]
+    name: str = ""
+    array_size: Optional[int] = None
+    init_values: Optional[list] = None  # literal scalar or list of literals
+
+
+@dataclass
+class Program(Node):
+    globals: list[GlobalDecl] = field(default_factory=list)
+    functions: list[FunctionDef] = field(default_factory=list)

@@ -1,0 +1,708 @@
+"""Lower the MiniC AST to IR (with integrated type checking).
+
+Classic C-frontend lowering: every local variable becomes an ``alloca``
+slot accessed by loads/stores (mem2reg later rebuilds SSA), arrays and
+pointers become GEP arithmetic, short-circuit operators become control flow,
+and the usual arithmetic conversions are applied (rank: double > float >
+long > int).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.frontend import ast
+from repro.frontend.errors import CompileError
+from repro.ir.basicblock import BasicBlock
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction
+from repro.ir.module import Module
+from repro.ir.opcodes import FCmpPred, ICmpPred, Opcode
+from repro.ir.types import F32, F64, I1, I32, I64, PTR, Type, VOID
+from repro.ir.values import Constant, Value
+from repro.vm.intrinsics import INTRINSICS, is_intrinsic
+
+_SCALAR_IR = {"int": I32, "long": I64, "float": F32, "double": F64, "void": VOID}
+_RANK = {"int": 0, "long": 1, "float": 2, "double": 3}
+
+
+def ir_type(ctype: ast.CType) -> Type:
+    if ctype.is_pointer:
+        return PTR
+    try:
+        return _SCALAR_IR[ctype.base]
+    except KeyError:  # pragma: no cover - parser restricts names
+        raise CompileError(f"unknown type {ctype}") from None
+
+
+@dataclass
+class VarInfo:
+    """A resolved variable binding."""
+
+    ctype: ast.CType
+    kind: str  # "scalar" (alloca slot) | "array" | "global" | "global_array"
+    storage: Value  # alloca instruction or GlobalVariable
+    elem_ctype: ast.CType | None = None  # for arrays
+
+
+class FunctionCodegen:
+    """Generates IR for one function body."""
+
+    def __init__(self, module: Module, func_def: ast.FunctionDef, filename: str):
+        self.module = module
+        self.func_def = func_def
+        self.filename = filename
+        self.func: Function = module.function(func_def.name)
+        self.builder = IRBuilder()
+        self.scopes: list[dict[str, VarInfo]] = []
+        self.break_targets: list[BasicBlock] = []
+        self.continue_targets: list[BasicBlock] = []
+        self._dead_counter = 0
+
+    def error(self, msg: str, node: ast.Node) -> CompileError:
+        return CompileError(msg, node.line, node.column, self.filename)
+
+    # -- scope handling --------------------------------------------------------
+    def push_scope(self) -> None:
+        self.scopes.append({})
+
+    def pop_scope(self) -> None:
+        self.scopes.pop()
+
+    def declare(self, name: str, info: VarInfo, node: ast.Node) -> None:
+        if name in self.scopes[-1]:
+            raise self.error(f"redeclaration of {name!r}", node)
+        self.scopes[-1][name] = info
+
+    def lookup(self, name: str, node: ast.Node) -> VarInfo:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        gv = self.module.globals.get(name)
+        if gv is not None:
+            # Resolved lazily so functions can reference globals declared
+            # later in the file.
+            ctype = _GLOBAL_CTYPES[id(gv)]
+            kind = "global_array" if gv.count > 1 else "global"
+            return VarInfo(ctype, kind, gv, elem_ctype=ctype)
+        raise self.error(f"use of undeclared identifier {name!r}", node)
+
+    # -- entry point -------------------------------------------------------
+    def generate(self) -> None:
+        entry = self.func.add_block("entry")
+        self.builder.set_block(entry)
+        self.push_scope()
+        # Spill parameters into stack slots (mem2reg will promote them).
+        for param, arg in zip(self.func_def.params, self.func.args):
+            ty = ir_type(param.ctype)
+            slot = self.builder.alloca(ty, 1, name=f"{param.name}.slot")
+            self.builder.store(arg, slot)
+            self.declare(
+                param.name, VarInfo(param.ctype, "scalar", slot), param
+            )
+        self.gen_block(self.func_def.body)
+        self.pop_scope()
+        # Implicit return at the end of a fall-through path.
+        block = self.builder.block
+        assert block is not None
+        if block.terminator is None:
+            if self.func.return_type.is_void:
+                self.builder.ret()
+            else:
+                self.builder.ret(Constant(self.func.return_type, 0))
+
+    # -- statements ------------------------------------------------------------
+    def gen_statement(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            self.gen_block(stmt)
+        elif isinstance(stmt, ast.VarDecl):
+            self.gen_var_decl(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            self.gen_expr(stmt.expr)
+        elif isinstance(stmt, ast.If):
+            self.gen_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self.gen_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self.gen_for(stmt)
+        elif isinstance(stmt, ast.Return):
+            self.gen_return(stmt)
+        elif isinstance(stmt, ast.Break):
+            if not self.break_targets:
+                raise self.error("break outside of loop", stmt)
+            self.builder.br(self.break_targets[-1])
+            self._start_dead_block()
+        elif isinstance(stmt, ast.Continue):
+            if not self.continue_targets:
+                raise self.error("continue outside of loop", stmt)
+            self.builder.br(self.continue_targets[-1])
+            self._start_dead_block()
+        else:  # pragma: no cover
+            raise self.error(f"cannot lower statement {type(stmt).__name__}", stmt)
+
+    def _start_dead_block(self) -> None:
+        """After an unconditional jump, park the builder in a fresh block.
+
+        The block is unreachable and removed by simplify-cfg; this lets the
+        parser-level AST contain statements after return/break without
+        tripping the "append after terminator" guard.
+        """
+        self._dead_counter += 1
+        dead = self.func.add_block(f"dead{self._dead_counter}")
+        self.builder.set_block(dead)
+
+    def gen_block(self, block: ast.Block) -> None:
+        self.push_scope()
+        for stmt in block.statements:
+            self.gen_statement(stmt)
+        self.pop_scope()
+
+    def gen_var_decl(self, decl: ast.VarDecl) -> None:
+        if decl.ctype.base == "void" and not decl.ctype.is_pointer:
+            raise self.error("cannot declare a void variable", decl)
+        if decl.array_size is not None:
+            elem_ty = ir_type(decl.ctype)
+            slot = self.builder.alloca(elem_ty, decl.array_size, name=decl.name)
+            self.declare(
+                decl.name,
+                VarInfo(decl.ctype, "array", slot, elem_ctype=decl.ctype),
+                decl,
+            )
+            return
+        ty = ir_type(decl.ctype)
+        slot = self.builder.alloca(ty, 1, name=f"{decl.name}.slot")
+        self.declare(decl.name, VarInfo(decl.ctype, "scalar", slot), decl)
+        if decl.init is not None:
+            value, vtype = self.gen_expr(decl.init)
+            value = self.convert(value, vtype, decl.ctype, decl)
+            self.builder.store(value, slot)
+
+    def gen_if(self, stmt: ast.If) -> None:
+        cond = self.gen_condition(stmt.cond)
+        then_block = self.func.add_block(self.func.fresh_name("if.then."))
+        merge_block = self.func.add_block(self.func.fresh_name("if.end."))
+        if stmt.else_body is not None:
+            else_block = self.func.add_block(self.func.fresh_name("if.else."))
+        else:
+            else_block = merge_block
+        self.builder.condbr(cond, then_block, else_block)
+
+        self.builder.set_block(then_block)
+        self.gen_statement(stmt.then_body)
+        if self.builder.block.terminator is None:
+            self.builder.br(merge_block)
+        if stmt.else_body is not None:
+            self.builder.set_block(else_block)
+            self.gen_statement(stmt.else_body)
+            if self.builder.block.terminator is None:
+                self.builder.br(merge_block)
+        self.builder.set_block(merge_block)
+
+    def gen_while(self, stmt: ast.While) -> None:
+        cond_block = self.func.add_block(self.func.fresh_name("while.cond."))
+        body_block = self.func.add_block(self.func.fresh_name("while.body."))
+        exit_block = self.func.add_block(self.func.fresh_name("while.end."))
+        self.builder.br(cond_block)
+        self.builder.set_block(cond_block)
+        cond = self.gen_condition(stmt.cond)
+        self.builder.condbr(cond, body_block, exit_block)
+        self.break_targets.append(exit_block)
+        self.continue_targets.append(cond_block)
+        self.builder.set_block(body_block)
+        self.gen_statement(stmt.body)
+        if self.builder.block.terminator is None:
+            self.builder.br(cond_block)
+        self.break_targets.pop()
+        self.continue_targets.pop()
+        self.builder.set_block(exit_block)
+
+    def gen_for(self, stmt: ast.For) -> None:
+        self.push_scope()
+        if stmt.init is not None:
+            self.gen_statement(stmt.init)
+        cond_block = self.func.add_block(self.func.fresh_name("for.cond."))
+        body_block = self.func.add_block(self.func.fresh_name("for.body."))
+        step_block = self.func.add_block(self.func.fresh_name("for.step."))
+        exit_block = self.func.add_block(self.func.fresh_name("for.end."))
+        self.builder.br(cond_block)
+        self.builder.set_block(cond_block)
+        if stmt.cond is not None:
+            cond = self.gen_condition(stmt.cond)
+            self.builder.condbr(cond, body_block, exit_block)
+        else:
+            self.builder.br(body_block)
+        self.break_targets.append(exit_block)
+        self.continue_targets.append(step_block)
+        self.builder.set_block(body_block)
+        self.gen_statement(stmt.body)
+        if self.builder.block.terminator is None:
+            self.builder.br(step_block)
+        self.builder.set_block(step_block)
+        if stmt.step is not None:
+            self.gen_expr(stmt.step)
+        self.builder.br(cond_block)
+        self.break_targets.pop()
+        self.continue_targets.pop()
+        self.builder.set_block(exit_block)
+        self.pop_scope()
+
+    def gen_return(self, stmt: ast.Return) -> None:
+        ret_ty = self.func.return_type
+        if stmt.value is None:
+            if not ret_ty.is_void:
+                raise self.error("return without value in non-void function", stmt)
+            self.builder.ret()
+        else:
+            if ret_ty.is_void:
+                raise self.error("return with value in void function", stmt)
+            value, vtype = self.gen_expr(stmt.value)
+            target_ctype = self.func_def.return_type
+            value = self.convert(value, vtype, target_ctype, stmt)
+            self.builder.ret(value)
+        self._start_dead_block()
+
+    # -- expressions -------------------------------------------------------
+    def gen_expr(self, expr: ast.Expr) -> tuple[Value, ast.CType]:
+        if isinstance(expr, ast.IntLiteral):
+            # Literals too large for i32 become long, as in C.
+            if -(2**31) <= expr.value < 2**31:
+                return Constant(I32, expr.value), ast.CType("int")
+            return Constant(I64, expr.value), ast.CType("long")
+        if isinstance(expr, ast.FloatLiteral):
+            return Constant(F64, expr.value), ast.CType("double")
+        if isinstance(expr, ast.NameRef):
+            return self.gen_name_ref(expr)
+        if isinstance(expr, ast.Unary):
+            return self.gen_unary(expr)
+        if isinstance(expr, ast.Binary):
+            return self.gen_binary(expr)
+        if isinstance(expr, ast.Conditional):
+            return self.gen_conditional(expr)
+        if isinstance(expr, ast.Assign):
+            return self.gen_assign(expr)
+        if isinstance(expr, ast.IncDec):
+            return self.gen_incdec(expr)
+        if isinstance(expr, ast.Index):
+            addr, elem_ctype = self.gen_index_address(expr)
+            value = self.builder.load(ir_type(elem_ctype), addr)
+            return value, elem_ctype
+        if isinstance(expr, ast.Call):
+            return self.gen_call(expr)
+        if isinstance(expr, ast.Cast):
+            value, vtype = self.gen_expr(expr.operand)
+            return (
+                self.convert(value, vtype, expr.target_type, expr, explicit=True),
+                expr.target_type,
+            )
+        raise self.error(f"cannot lower expression {type(expr).__name__}", expr)
+
+    def gen_name_ref(self, expr: ast.NameRef) -> tuple[Value, ast.CType]:
+        info = self.lookup(expr.name, expr)
+        if info.kind in ("array", "global_array"):
+            # Arrays decay to pointers.
+            return info.storage, info.ctype.pointer_to()
+        if info.kind == "global":
+            value = self.builder.load(ir_type(info.ctype), info.storage)
+            return value, info.ctype
+        value = self.builder.load(ir_type(info.ctype), info.storage)
+        return value, info.ctype
+
+    # -- lvalues -----------------------------------------------------------
+    def gen_lvalue(self, expr: ast.Expr) -> tuple[Value, ast.CType]:
+        """Return (address, ctype-of-stored-value)."""
+        if isinstance(expr, ast.NameRef):
+            info = self.lookup(expr.name, expr)
+            if info.kind in ("array", "global_array"):
+                raise self.error(f"cannot assign to array {expr.name!r}", expr)
+            return info.storage, info.ctype
+        if isinstance(expr, ast.Index):
+            return self.gen_index_address(expr)
+        raise self.error("expression is not assignable", expr)
+
+    def gen_index_address(self, expr: ast.Index) -> tuple[Value, ast.CType]:
+        base, base_ctype = self.gen_expr(expr.base)
+        if not base_ctype.is_pointer:
+            raise self.error(f"cannot index non-pointer type {base_ctype}", expr)
+        elem_ctype = base_ctype.pointee()
+        if elem_ctype.base == "void" and not elem_ctype.is_pointer:
+            raise self.error("cannot index void*", expr)
+        index, index_ctype = self.gen_expr(expr.index)
+        index = self.to_int(index, index_ctype, expr)
+        elem_size = 8 if elem_ctype.is_pointer else ir_type(elem_ctype).size_bytes
+        addr = self.builder.gep(base, index, elem_size)
+        return addr, elem_ctype
+
+    # -- operators ---------------------------------------------------------
+    def gen_unary(self, expr: ast.Unary) -> tuple[Value, ast.CType]:
+        value, ctype = self.gen_expr(expr.operand)
+        if expr.op == "-":
+            if ctype.is_pointer:
+                raise self.error("cannot negate a pointer", expr)
+            if _SCALAR_IR[ctype.base].is_float:
+                return self.builder.fneg(value), ctype
+            zero = Constant(ir_type(ctype), 0)
+            return self.builder.sub(zero, value), ctype
+        if expr.op == "~":
+            if ctype.is_pointer or _SCALAR_IR[ctype.base].is_float:
+                raise self.error(f"~ requires an integer, got {ctype}", expr)
+            return self.builder.xor(value, Constant(ir_type(ctype), -1)), ctype
+        if expr.op == "!":
+            cond = self.to_bool(value, ctype, expr)
+            inverted = self.builder.xor(cond, Constant(I1, 1))
+            return self.builder.zext(inverted, I32), ast.CType("int")
+        raise self.error(f"unknown unary operator {expr.op!r}", expr)
+
+    def gen_binary(self, expr: ast.Binary) -> tuple[Value, ast.CType]:
+        op = expr.op
+        if op in ("&&", "||"):
+            return self.gen_logical(expr)
+
+        lhs, ltype = self.gen_expr(expr.lhs)
+        rhs, rtype = self.gen_expr(expr.rhs)
+
+        # Pointer arithmetic: ptr +/- int
+        if ltype.is_pointer and op in ("+", "-") and not rtype.is_pointer:
+            index = self.to_int(rhs, rtype, expr)
+            if op == "-":
+                zero = Constant(index.type, 0)
+                index = self.builder.sub(zero, index)
+            elem = ltype.pointee()
+            elem_size = 8 if elem.is_pointer else ir_type(elem).size_bytes
+            return self.builder.gep(lhs, index, elem_size), ltype
+        if ltype.is_pointer or rtype.is_pointer:
+            if op in ("==", "!="):
+                pred = ICmpPred.EQ if op == "==" else ICmpPred.NE
+                cmp = self.builder.icmp(pred, lhs, rhs)
+                return self.builder.zext(cmp, I32), ast.CType("int")
+            raise self.error(f"invalid pointer operands to {op!r}", expr)
+
+        lhs, rhs, common = self.usual_conversions(lhs, ltype, rhs, rtype, expr)
+        is_float = _SCALAR_IR[common.base].is_float
+
+        arith = {
+            "+": (Opcode.ADD, Opcode.FADD),
+            "-": (Opcode.SUB, Opcode.FSUB),
+            "*": (Opcode.MUL, Opcode.FMUL),
+            "/": (Opcode.SDIV, Opcode.FDIV),
+            "%": (Opcode.SREM, Opcode.FREM),
+        }
+        if op in arith:
+            int_op, float_op = arith[op]
+            return self.builder.binop(float_op if is_float else int_op, lhs, rhs), common
+        bitwise = {
+            "&": Opcode.AND,
+            "|": Opcode.OR,
+            "^": Opcode.XOR,
+            "<<": Opcode.SHL,
+            ">>": Opcode.ASHR,
+        }
+        if op in bitwise:
+            if is_float:
+                raise self.error(f"bitwise {op!r} on floating type", expr)
+            return self.builder.binop(bitwise[op], lhs, rhs), common
+        compare = {
+            "==": (ICmpPred.EQ, FCmpPred.OEQ),
+            "!=": (ICmpPred.NE, FCmpPred.ONE),
+            "<": (ICmpPred.SLT, FCmpPred.OLT),
+            "<=": (ICmpPred.SLE, FCmpPred.OLE),
+            ">": (ICmpPred.SGT, FCmpPred.OGT),
+            ">=": (ICmpPred.SGE, FCmpPred.OGE),
+        }
+        if op in compare:
+            ipred, fpred = compare[op]
+            if is_float:
+                cmp = self.builder.fcmp(fpred, lhs, rhs)
+            else:
+                cmp = self.builder.icmp(ipred, lhs, rhs)
+            return self.builder.zext(cmp, I32), ast.CType("int")
+        raise self.error(f"unknown binary operator {op!r}", expr)
+
+    def gen_logical(self, expr: ast.Binary) -> tuple[Value, ast.CType]:
+        """Short-circuit && / || lowered to control flow + phi."""
+        is_and = expr.op == "&&"
+        rhs_block = self.func.add_block(self.func.fresh_name("logic.rhs."))
+        merge_block = self.func.add_block(self.func.fresh_name("logic.end."))
+
+        lhs_cond = self.gen_condition(expr.lhs)
+        lhs_exit = self.builder.block
+        assert lhs_exit is not None
+        if is_and:
+            self.builder.condbr(lhs_cond, rhs_block, merge_block)
+        else:
+            self.builder.condbr(lhs_cond, merge_block, rhs_block)
+
+        self.builder.set_block(rhs_block)
+        rhs_cond = self.gen_condition(expr.rhs)
+        rhs_exit = self.builder.block
+        assert rhs_exit is not None
+        self.builder.br(merge_block)
+
+        self.builder.set_block(merge_block)
+        phi = self.builder.phi(I1)
+        phi.add_incoming(Constant(I1, 0 if is_and else 1), lhs_exit)
+        phi.add_incoming(rhs_cond, rhs_exit)
+        return self.builder.zext(phi, I32), ast.CType("int")
+
+    def gen_conditional(self, expr: ast.Conditional) -> tuple[Value, ast.CType]:
+        cond = self.gen_condition(expr.cond)
+        then_block = self.func.add_block(self.func.fresh_name("sel.then."))
+        else_block = self.func.add_block(self.func.fresh_name("sel.else."))
+        merge_block = self.func.add_block(self.func.fresh_name("sel.end."))
+        self.builder.condbr(cond, then_block, else_block)
+
+        self.builder.set_block(then_block)
+        tval, ttype = self.gen_expr(expr.if_true)
+        then_exit = self.builder.block
+
+        self.builder.set_block(else_block)
+        fval, ftype = self.gen_expr(expr.if_false)
+        else_exit = self.builder.block
+
+        common = self.common_ctype(ttype, ftype, expr)
+        self.builder.set_block(then_exit)
+        tval = self.convert(tval, ttype, common, expr)
+        then_exit = self.builder.block
+        self.builder.br(merge_block)
+        self.builder.set_block(else_exit)
+        fval = self.convert(fval, ftype, common, expr)
+        else_exit = self.builder.block
+        self.builder.br(merge_block)
+
+        self.builder.set_block(merge_block)
+        phi = self.builder.phi(ir_type(common))
+        phi.add_incoming(tval, then_exit)
+        phi.add_incoming(fval, else_exit)
+        return phi, common
+
+    def gen_assign(self, expr: ast.Assign) -> tuple[Value, ast.CType]:
+        addr, target_ctype = self.gen_lvalue(expr.target)
+        if expr.op == "=":
+            value, vtype = self.gen_expr(expr.value)
+            value = self.convert(value, vtype, target_ctype, expr)
+        else:
+            # Compound assignment desugars to load-op-store.
+            binop = ast.Binary(
+                expr.line,
+                expr.column,
+                expr.op[:-1],
+                _reload_of(expr.target),
+                expr.value,
+            )
+            value, vtype = self.gen_binary(binop)
+            value = self.convert(value, vtype, target_ctype, expr)
+        self.builder.store(value, addr)
+        return value, target_ctype
+
+    def gen_incdec(self, expr: ast.IncDec) -> tuple[Value, ast.CType]:
+        addr, ctype = self.gen_lvalue(expr.target)
+        ty = ir_type(ctype)
+        old = self.builder.load(ty, addr)
+        if ctype.is_pointer:
+            elem = ctype.pointee()
+            elem_size = 8 if elem.is_pointer else ir_type(elem).size_bytes
+            delta = Constant(I64, 1 if expr.op == "++" else -1)
+            new = self.builder.gep(old, delta, elem_size)
+        elif ty.is_float:
+            one = Constant(ty, 1.0)
+            new = (
+                self.builder.fadd(old, one)
+                if expr.op == "++"
+                else self.builder.fsub(old, one)
+            )
+        else:
+            one = Constant(ty, 1)
+            new = (
+                self.builder.add(old, one)
+                if expr.op == "++"
+                else self.builder.sub(old, one)
+            )
+        self.builder.store(new, addr)
+        return (new if expr.prefix else old), ctype
+
+    def gen_call(self, expr: ast.Call) -> tuple[Value, ast.CType]:
+        name = expr.name
+        callee = self.module.functions.get(name)
+        if callee is not None:
+            sig_ctypes = _FUNCTION_SIGNATURES[id(callee)]
+            if len(expr.args) != len(sig_ctypes[1]):
+                raise self.error(
+                    f"{name} expects {len(sig_ctypes[1])} arguments, "
+                    f"got {len(expr.args)}",
+                    expr,
+                )
+            args = []
+            for arg_expr, target_ctype in zip(expr.args, sig_ctypes[1]):
+                value, vtype = self.gen_expr(arg_expr)
+                args.append(self.convert(value, vtype, target_ctype, arg_expr))
+            result = self.builder.call(callee, args)
+            return result, sig_ctypes[0]
+        if is_intrinsic(name):
+            ret_ty, param_tys = (
+                INTRINSICS[name].return_type,
+                list(INTRINSICS[name].param_types),
+            )
+            if len(expr.args) != len(param_tys):
+                raise self.error(
+                    f"intrinsic {name} expects {len(param_tys)} arguments, "
+                    f"got {len(expr.args)}",
+                    expr,
+                )
+            args = []
+            for arg_expr, pty in zip(expr.args, param_tys):
+                value, vtype = self.gen_expr(arg_expr)
+                args.append(self.convert_to_ir(value, vtype, pty, arg_expr))
+            result = self.builder.call(name, args)
+            return result, _ctype_of_ir(ret_ty)
+        raise self.error(f"call to unknown function {name!r}", expr)
+
+    # -- conversions -------------------------------------------------------
+    def gen_condition(self, expr: ast.Expr) -> Value:
+        """Evaluate an expression as an i1 condition."""
+        value, ctype = self.gen_expr(expr)
+        return self.to_bool(value, ctype, expr)
+
+    def to_bool(self, value: Value, ctype: ast.CType, node: ast.Node) -> Value:
+        ty = PTR if ctype.is_pointer else _SCALAR_IR[ctype.base]
+        if ty == I1:
+            return value
+        if ty.is_float:
+            return self.builder.fcmp(FCmpPred.ONE, value, Constant(ty, 0.0))
+        return self.builder.icmp(ICmpPred.NE, value, Constant(ty, 0))
+
+    def to_int(self, value: Value, ctype: ast.CType, node: ast.Node) -> Value:
+        """Coerce an index/offset expression to a (signed) integer value."""
+        if ctype.is_pointer:
+            raise self.error("pointer used where an integer is required", node)
+        ty = _SCALAR_IR[ctype.base]
+        if ty.is_float:
+            return self.builder.fptosi(value, I64)
+        return value
+
+    def common_ctype(
+        self, a: ast.CType, b: ast.CType, node: ast.Node
+    ) -> ast.CType:
+        if a.is_pointer and b.is_pointer:
+            return a
+        if a.is_pointer or b.is_pointer:
+            raise self.error("cannot mix pointer and scalar operands", node)
+        if a.base == "void" or b.base == "void":
+            raise self.error("void value in expression", node)
+        return a if _RANK[a.base] >= _RANK[b.base] else b
+
+    def usual_conversions(self, lhs, ltype, rhs, rtype, node):
+        common = self.common_ctype(ltype, rtype, node)
+        lhs = self.convert(lhs, ltype, common, node)
+        rhs = self.convert(rhs, rtype, common, node)
+        return lhs, rhs, common
+
+    def convert(
+        self,
+        value: Value,
+        src: ast.CType,
+        dst: ast.CType,
+        node: ast.Node,
+        explicit: bool = False,
+    ) -> Value:
+        if src == dst:
+            return value
+        if src.is_pointer and dst.is_pointer:
+            return value  # all pointers are the same IR type
+        if src.is_pointer or dst.is_pointer:
+            if explicit and src.base == "long" and dst.is_pointer:
+                return value  # long -> ptr (both 64-bit ints at IR level)
+            if explicit and src.is_pointer and dst.base == "long":
+                return value
+            raise self.error(
+                f"cannot {'convert' if explicit else 'implicitly convert'} "
+                f"{src} to {dst}",
+                node,
+            )
+        return self.convert_to_ir(value, src, ir_type(dst), node)
+
+    def convert_to_ir(
+        self, value: Value, src: ast.CType, dst_ty: Type, node: ast.Node
+    ) -> Value:
+        if src.is_pointer:
+            if dst_ty.is_ptr:
+                return value
+            raise self.error(f"cannot convert pointer to {dst_ty}", node)
+        src_ty = _SCALAR_IR[src.base]
+        if src_ty == dst_ty:
+            return value
+        b = self.builder
+        if src_ty.is_int and dst_ty.is_int:
+            if dst_ty.bits > src_ty.bits:
+                return b.sext(value, dst_ty)
+            return b.trunc(value, dst_ty)
+        if src_ty.is_int and dst_ty.is_float:
+            converted = b.sitofp(value, F64 if dst_ty == F64 else F32)
+            return converted
+        if src_ty.is_float and dst_ty.is_int:
+            return b.fptosi(value, dst_ty)
+        if src_ty.is_float and dst_ty.is_float:
+            return b.fpext(value) if dst_ty == F64 else b.fptrunc(value)
+        raise self.error(f"cannot convert {src_ty} to {dst_ty}", node)
+
+
+def _ctype_of_ir(ty: Type) -> ast.CType:
+    if ty.is_ptr:
+        return ast.CType("void", 1)
+    mapping = {I32: "int", I64: "long", F32: "float", F64: "double", VOID: "void"}
+    return ast.CType(mapping[ty])
+
+
+def _reload_of(target: ast.Expr) -> ast.Expr:
+    """AST copy of an lvalue for compound-assignment desugaring.
+
+    Re-evaluating the index expression is acceptable here because MiniC
+    expressions are side-effect-free apart from assignments/incdec, which
+    cannot appear inside an assignment target in the grammar we accept.
+    """
+    return target
+
+
+# Side tables filled by the module-level driver (declared here to keep the
+# codegen class free of global state threading).
+_GLOBAL_CTYPES: dict[int, ast.CType] = {}
+_FUNCTION_SIGNATURES: dict[int, tuple[ast.CType, list[ast.CType]]] = {}
+
+
+def generate_module(
+    programs: list[tuple[ast.Program, str]], module_name: str
+) -> Module:
+    """Lower one or more parsed translation units into a single module."""
+    module = Module(module_name)
+
+    # Pass 1: globals and function signatures (cross-file, order-free).
+    for program, filename in programs:
+        for gdecl in program.globals:
+            if gdecl.ctype.base == "void" and not gdecl.ctype.is_pointer:
+                raise CompileError(
+                    "cannot declare a void global", gdecl.line, gdecl.column, filename
+                )
+            elem_ty = ir_type(gdecl.ctype)
+            count = gdecl.array_size if gdecl.array_size is not None else 1
+            init = None
+            if gdecl.init_values is not None:
+                if elem_ty.is_float:
+                    init = [float(v) for v in gdecl.init_values]
+                else:
+                    init = [int(v) for v in gdecl.init_values]
+            gv = module.add_global(gdecl.name, elem_ty, count, init)
+            _GLOBAL_CTYPES[id(gv)] = gdecl.ctype
+        for fdef in program.functions:
+            arg_types = [(p.name, ir_type(p.ctype)) for p in fdef.params]
+            func = module.declare_function(
+                fdef.name, ir_type(fdef.return_type), arg_types
+            )
+            _FUNCTION_SIGNATURES[id(func)] = (
+                fdef.return_type,
+                [p.ctype for p in fdef.params],
+            )
+
+    # Pass 2: bodies.
+    for program, filename in programs:
+        for fdef in program.functions:
+            FunctionCodegen(module, fdef, filename).generate()
+    return module

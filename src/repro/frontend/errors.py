@@ -1,0 +1,15 @@
+"""Frontend diagnostics."""
+
+from __future__ import annotations
+
+
+class CompileError(Exception):
+    """A MiniC compilation error with source position."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0, filename: str = "") -> None:
+        self.message = message
+        self.line = line
+        self.column = column
+        self.filename = filename
+        where = f"{filename or '<source>'}:{line}:{column}" if line else (filename or "<source>")
+        super().__init__(f"{where}: {message}")

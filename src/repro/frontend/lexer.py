@@ -1,0 +1,195 @@
+"""MiniC lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+from repro.frontend.errors import CompileError
+
+
+class TokenKind(Enum):
+    IDENT = auto()
+    INT_LIT = auto()
+    FLOAT_LIT = auto()
+    KEYWORD = auto()
+    PUNCT = auto()
+    EOF = auto()
+
+
+KEYWORDS = {
+    "int",
+    "long",
+    "float",
+    "double",
+    "void",
+    "if",
+    "else",
+    "while",
+    "for",
+    "return",
+    "break",
+    "continue",
+}
+
+# Longest-match-first punctuation table.
+PUNCTUATION = [
+    "<<=",
+    ">>=",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "|=",
+    "^=",
+    "<<",
+    ">>",
+    "++",
+    "--",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "<",
+    ">",
+    "=",
+    "!",
+    "&",
+    "|",
+    "^",
+    "~",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    ";",
+    ",",
+    "?",
+    ":",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+    value: object = None  # parsed literal value for INT_LIT / FLOAT_LIT
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Token({self.kind.name}, {self.text!r}, {self.line}:{self.column})"
+
+
+def tokenize(source: str, filename: str = "<source>") -> list[Token]:
+    """Tokenize MiniC source. Supports ``//`` and ``/* */`` comments."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def error(msg: str) -> CompileError:
+        return CompileError(msg, line, col, filename)
+
+    while i < n:
+        ch = source[i]
+        # whitespace
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        # comments
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise error("unterminated block comment")
+            for c in source[i : end + 2]:
+                if c == "\n":
+                    line += 1
+                    col = 1
+                else:
+                    col += 1
+            i = end + 2
+            continue
+        # identifiers / keywords
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+            tokens.append(Token(kind, text, line, col))
+            col += i - start
+            continue
+        # numeric literals
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            start = i
+            is_float = False
+            if source.startswith("0x", i) or source.startswith("0X", i):
+                i += 2
+                while i < n and (source[i] in "0123456789abcdefABCDEF"):
+                    i += 1
+                text = source[start:i]
+                tokens.append(Token(TokenKind.INT_LIT, text, line, col, int(text, 16)))
+                col += i - start
+                continue
+            while i < n and source[i].isdigit():
+                i += 1
+            if i < n and source[i] == ".":
+                is_float = True
+                i += 1
+                while i < n and source[i].isdigit():
+                    i += 1
+            if i < n and source[i] in "eE":
+                is_float = True
+                i += 1
+                if i < n and source[i] in "+-":
+                    i += 1
+                if i >= n or not source[i].isdigit():
+                    raise error("malformed float exponent")
+                while i < n and source[i].isdigit():
+                    i += 1
+            suffix_f = False
+            if i < n and source[i] in "fF" and is_float:
+                suffix_f = True
+                i += 1
+            text = source[start:i]
+            if is_float:
+                value = float(text[:-1] if suffix_f else text)
+                tokens.append(Token(TokenKind.FLOAT_LIT, text, line, col, value))
+            else:
+                tokens.append(Token(TokenKind.INT_LIT, text, line, col, int(text)))
+            col += i - start
+            continue
+        # punctuation
+        for punct in PUNCTUATION:
+            if source.startswith(punct, i):
+                tokens.append(Token(TokenKind.PUNCT, punct, line, col))
+                i += len(punct)
+                col += len(punct)
+                break
+        else:
+            raise error(f"unexpected character {ch!r}")
+    tokens.append(Token(TokenKind.EOF, "", line, col))
+    return tokens

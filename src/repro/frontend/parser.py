@@ -1,0 +1,400 @@
+"""MiniC recursive-descent parser with precedence-climbing expressions."""
+
+from __future__ import annotations
+
+from repro.frontend import ast
+from repro.frontend.errors import CompileError
+from repro.frontend.lexer import Token, TokenKind, tokenize
+
+_TYPE_NAMES = {"int", "long", "float", "double", "void"}
+
+# Binary operator precedence (higher binds tighter).
+_BIN_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6,
+    "!=": 6,
+    "<": 7,
+    ">": 7,
+    "<=": 7,
+    ">=": 7,
+    "<<": 8,
+    ">>": 8,
+    "+": 9,
+    "-": 9,
+    "*": 10,
+    "/": 10,
+    "%": 10,
+}
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="}
+
+
+class Parser:
+    """Parses one MiniC translation unit into an :class:`ast.Program`."""
+
+    def __init__(self, source: str, filename: str = "<source>") -> None:
+        self.filename = filename
+        self.tokens = tokenize(source, filename)
+        self.pos = 0
+
+    # -- token helpers ---------------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def peek(self, offset: int = 1) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind is not TokenKind.EOF:
+            self.pos += 1
+        return tok
+
+    def error(self, msg: str, tok: Token | None = None) -> CompileError:
+        tok = tok or self.current
+        return CompileError(msg, tok.line, tok.column, self.filename)
+
+    def expect_punct(self, text: str) -> Token:
+        tok = self.current
+        if tok.kind is not TokenKind.PUNCT or tok.text != text:
+            raise self.error(f"expected {text!r}, found {tok.text!r}")
+        return self.advance()
+
+    def accept_punct(self, text: str) -> bool:
+        tok = self.current
+        if tok.kind is TokenKind.PUNCT and tok.text == text:
+            self.advance()
+            return True
+        return False
+
+    def expect_ident(self) -> Token:
+        tok = self.current
+        if tok.kind is not TokenKind.IDENT:
+            raise self.error(f"expected identifier, found {tok.text!r}")
+        return self.advance()
+
+    # -- types -------------------------------------------------------------
+    def at_type(self) -> bool:
+        return self.current.kind is TokenKind.KEYWORD and self.current.text in _TYPE_NAMES
+
+    def parse_type(self) -> ast.CType:
+        tok = self.current
+        if not self.at_type():
+            raise self.error(f"expected type name, found {tok.text!r}")
+        self.advance()
+        depth = 0
+        while self.accept_punct("*"):
+            depth += 1
+        return ast.CType(tok.text, depth)
+
+    # -- top level ---------------------------------------------------------
+    def parse_program(self) -> ast.Program:
+        program = ast.Program(line=1, column=1)
+        while self.current.kind is not TokenKind.EOF:
+            if not self.at_type():
+                raise self.error(
+                    f"expected declaration, found {self.current.text!r}"
+                )
+            start = self.current
+            ctype = self.parse_type()
+            name_tok = self.expect_ident()
+            if self.current.kind is TokenKind.PUNCT and self.current.text == "(":
+                program.functions.append(
+                    self._parse_function(ctype, name_tok, start)
+                )
+            else:
+                program.globals.append(self._parse_global(ctype, name_tok, start))
+        return program
+
+    def _parse_function(
+        self, return_type: ast.CType, name_tok: Token, start: Token
+    ) -> ast.FunctionDef:
+        self.expect_punct("(")
+        params: list[ast.Param] = []
+        if not self.accept_punct(")"):
+            while True:
+                ptype = self.parse_type()
+                pname = self.expect_ident()
+                params.append(
+                    ast.Param(pname.line, pname.column, ptype, pname.text)
+                )
+                if self.accept_punct(")"):
+                    break
+                self.expect_punct(",")
+        body = self.parse_block()
+        return ast.FunctionDef(
+            start.line, start.column, return_type, name_tok.text, params, body
+        )
+
+    def _parse_global(
+        self, ctype: ast.CType, name_tok: Token, start: Token
+    ) -> ast.GlobalDecl:
+        array_size = None
+        if self.accept_punct("["):
+            size_tok = self.current
+            if size_tok.kind is not TokenKind.INT_LIT:
+                raise self.error("global array size must be an integer literal")
+            self.advance()
+            array_size = int(size_tok.value)
+            self.expect_punct("]")
+        init_values = None
+        if self.accept_punct("="):
+            if self.accept_punct("{"):
+                init_values = []
+                if not self.accept_punct("}"):
+                    while True:
+                        init_values.append(self._parse_literal_value())
+                        if self.accept_punct("}"):
+                            break
+                        self.expect_punct(",")
+            else:
+                init_values = [self._parse_literal_value()]
+        self.expect_punct(";")
+        return ast.GlobalDecl(
+            start.line, start.column, ctype, name_tok.text, array_size, init_values
+        )
+
+    def _parse_literal_value(self):
+        negate = False
+        if self.accept_punct("-"):
+            negate = True
+        tok = self.current
+        if tok.kind is TokenKind.INT_LIT:
+            self.advance()
+            return -tok.value if negate else tok.value
+        if tok.kind is TokenKind.FLOAT_LIT:
+            self.advance()
+            return -tok.value if negate else tok.value
+        raise self.error("global initializer must be a literal")
+
+    # -- statements ------------------------------------------------------------
+    def parse_block(self) -> ast.Block:
+        start = self.expect_punct("{")
+        stmts: list[ast.Stmt] = []
+        while not self.accept_punct("}"):
+            if self.current.kind is TokenKind.EOF:
+                raise self.error("unterminated block")
+            stmts.append(self.parse_statement())
+        return ast.Block(start.line, start.column, stmts)
+
+    def parse_statement(self) -> ast.Stmt:
+        tok = self.current
+        if tok.kind is TokenKind.PUNCT and tok.text == "{":
+            return self.parse_block()
+        if self.at_type():
+            return self._parse_var_decl()
+        if tok.kind is TokenKind.KEYWORD:
+            if tok.text == "if":
+                return self._parse_if()
+            if tok.text == "while":
+                return self._parse_while()
+            if tok.text == "for":
+                return self._parse_for()
+            if tok.text == "return":
+                self.advance()
+                value = None
+                if not self.accept_punct(";"):
+                    value = self.parse_expression()
+                    self.expect_punct(";")
+                return ast.Return(tok.line, tok.column, value)
+            if tok.text == "break":
+                self.advance()
+                self.expect_punct(";")
+                return ast.Break(tok.line, tok.column)
+            if tok.text == "continue":
+                self.advance()
+                self.expect_punct(";")
+                return ast.Continue(tok.line, tok.column)
+        expr = self.parse_expression()
+        self.expect_punct(";")
+        return ast.ExprStmt(tok.line, tok.column, expr)
+
+    def _parse_var_decl(self) -> ast.VarDecl:
+        start = self.current
+        ctype = self.parse_type()
+        name_tok = self.expect_ident()
+        array_size = None
+        if self.accept_punct("["):
+            size_tok = self.current
+            if size_tok.kind is not TokenKind.INT_LIT:
+                raise self.error("local array size must be an integer literal")
+            self.advance()
+            array_size = int(size_tok.value)
+            self.expect_punct("]")
+        init = None
+        if self.accept_punct("="):
+            if array_size is not None:
+                raise self.error("array initializers are not supported for locals")
+            init = self.parse_expression()
+        self.expect_punct(";")
+        return ast.VarDecl(
+            start.line, start.column, ctype, name_tok.text, array_size, init
+        )
+
+    def _parse_if(self) -> ast.If:
+        start = self.advance()  # 'if'
+        self.expect_punct("(")
+        cond = self.parse_expression()
+        self.expect_punct(")")
+        then_body = self.parse_statement()
+        else_body = None
+        if (
+            self.current.kind is TokenKind.KEYWORD
+            and self.current.text == "else"
+        ):
+            self.advance()
+            else_body = self.parse_statement()
+        return ast.If(start.line, start.column, cond, then_body, else_body)
+
+    def _parse_while(self) -> ast.While:
+        start = self.advance()  # 'while'
+        self.expect_punct("(")
+        cond = self.parse_expression()
+        self.expect_punct(")")
+        body = self.parse_statement()
+        return ast.While(start.line, start.column, cond, body)
+
+    def _parse_for(self) -> ast.For:
+        start = self.advance()  # 'for'
+        self.expect_punct("(")
+        init: ast.Stmt | None = None
+        if not self.accept_punct(";"):
+            if self.at_type():
+                init = self._parse_var_decl()  # consumes ';'
+            else:
+                expr = self.parse_expression()
+                self.expect_punct(";")
+                init = ast.ExprStmt(start.line, start.column, expr)
+        cond = None
+        if not self.accept_punct(";"):
+            cond = self.parse_expression()
+            self.expect_punct(";")
+        step = None
+        if not self.accept_punct(")"):
+            step = self.parse_expression()
+            self.expect_punct(")")
+        body = self.parse_statement()
+        return ast.For(start.line, start.column, init, cond, step, body)
+
+    # -- expressions -------------------------------------------------------
+    def parse_expression(self) -> ast.Expr:
+        return self._parse_assignment()
+
+    def _parse_assignment(self) -> ast.Expr:
+        lhs = self._parse_conditional()
+        tok = self.current
+        if tok.kind is TokenKind.PUNCT and tok.text in _ASSIGN_OPS:
+            self.advance()
+            value = self._parse_assignment()  # right associative
+            if not isinstance(lhs, (ast.NameRef, ast.Index)):
+                raise self.error("invalid assignment target", tok)
+            return ast.Assign(tok.line, tok.column, tok.text, lhs, value)
+        return lhs
+
+    def _parse_conditional(self) -> ast.Expr:
+        cond = self._parse_binary(1)
+        if self.current.kind is TokenKind.PUNCT and self.current.text == "?":
+            tok = self.advance()
+            if_true = self.parse_expression()
+            self.expect_punct(":")
+            if_false = self._parse_conditional()
+            return ast.Conditional(tok.line, tok.column, cond, if_true, if_false)
+        return cond
+
+    def _parse_binary(self, min_prec: int) -> ast.Expr:
+        lhs = self._parse_unary()
+        while True:
+            tok = self.current
+            if tok.kind is not TokenKind.PUNCT:
+                return lhs
+            prec = _BIN_PRECEDENCE.get(tok.text)
+            if prec is None or prec < min_prec:
+                return lhs
+            self.advance()
+            rhs = self._parse_binary(prec + 1)
+            lhs = ast.Binary(tok.line, tok.column, tok.text, lhs, rhs)
+
+    def _parse_unary(self) -> ast.Expr:
+        tok = self.current
+        if tok.kind is TokenKind.PUNCT:
+            if tok.text in ("-", "!", "~"):
+                self.advance()
+                operand = self._parse_unary()
+                return ast.Unary(tok.line, tok.column, tok.text, operand)
+            if tok.text == "+":
+                self.advance()
+                return self._parse_unary()
+            if tok.text in ("++", "--"):
+                self.advance()
+                target = self._parse_unary()
+                if not isinstance(target, (ast.NameRef, ast.Index)):
+                    raise self.error("invalid increment target", tok)
+                return ast.IncDec(tok.line, tok.column, tok.text, True, target)
+            if tok.text == "(" and self._at_cast():
+                self.advance()
+                ctype = self.parse_type()
+                self.expect_punct(")")
+                operand = self._parse_unary()
+                return ast.Cast(tok.line, tok.column, ctype, operand)
+        return self._parse_postfix()
+
+    def _at_cast(self) -> bool:
+        """After '(', is this a cast? True iff next token is a type name."""
+        nxt = self.peek(1)
+        return nxt.kind is TokenKind.KEYWORD and nxt.text in _TYPE_NAMES
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            tok = self.current
+            if tok.kind is not TokenKind.PUNCT:
+                return expr
+            if tok.text == "[":
+                self.advance()
+                index = self.parse_expression()
+                self.expect_punct("]")
+                expr = ast.Index(tok.line, tok.column, expr, index)
+            elif tok.text in ("++", "--"):
+                self.advance()
+                if not isinstance(expr, (ast.NameRef, ast.Index)):
+                    raise self.error("invalid increment target", tok)
+                expr = ast.IncDec(tok.line, tok.column, tok.text, False, expr)
+            else:
+                return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        tok = self.current
+        if tok.kind is TokenKind.INT_LIT:
+            self.advance()
+            return ast.IntLiteral(tok.line, tok.column, int(tok.value))
+        if tok.kind is TokenKind.FLOAT_LIT:
+            self.advance()
+            return ast.FloatLiteral(tok.line, tok.column, float(tok.value))
+        if tok.kind is TokenKind.IDENT:
+            self.advance()
+            if self.accept_punct("("):
+                args: list[ast.Expr] = []
+                if not self.accept_punct(")"):
+                    while True:
+                        args.append(self.parse_expression())
+                        if self.accept_punct(")"):
+                            break
+                        self.expect_punct(",")
+                return ast.Call(tok.line, tok.column, tok.text, args)
+            return ast.NameRef(tok.line, tok.column, tok.text)
+        if tok.kind is TokenKind.PUNCT and tok.text == "(":
+            self.advance()
+            expr = self.parse_expression()
+            self.expect_punct(")")
+            return expr
+        raise self.error(f"unexpected token {tok.text!r} in expression")
+
+
+def parse_program(source: str, filename: str = "<source>") -> ast.Program:
+    return Parser(source, filename).parse_program()

@@ -1,0 +1,79 @@
+"""SSA intermediate representation ("bitcode").
+
+This package plays the role of LLVM bitcode in the paper's tool flow: the
+MiniC frontend (:mod:`repro.frontend`) lowers source programs into this IR,
+the virtual machine (:mod:`repro.vm`) interprets it with profiling, and the
+ISE algorithms (:mod:`repro.ise`) search its per-block dataflow graphs for
+custom-instruction candidates.
+
+The IR is a conventional typed SSA form:
+
+- a :class:`~repro.ir.module.Module` holds global variables and functions,
+- a :class:`~repro.ir.function.Function` holds arguments and basic blocks,
+- a :class:`~repro.ir.basicblock.BasicBlock` holds a straight-line list of
+  :class:`~repro.ir.instructions.Instruction` objects ending in a terminator,
+- instructions are themselves SSA values referenced as operands.
+
+Construction normally goes through :class:`~repro.ir.builder.IRBuilder`.
+"""
+
+from repro.ir.types import (
+    Type,
+    VOID,
+    I1,
+    I8,
+    I16,
+    I32,
+    I64,
+    F32,
+    F64,
+    PTR,
+)
+from repro.ir.opcodes import Opcode, ICmpPred, FCmpPred
+from repro.ir.values import Value, Constant, Argument, GlobalVariable, UndefValue
+from repro.ir.instructions import Instruction, PhiInstruction
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.builder import IRBuilder
+from repro.ir.verifier import VerificationError, verify_function, verify_module
+from repro.ir.printer import print_module, print_function
+from repro.ir.textparser import IrParseError, parse_module
+from repro.ir.dfg import DataFlowGraph
+from repro.ir.cfg import ControlFlowInfo
+
+__all__ = [
+    "Type",
+    "VOID",
+    "I1",
+    "I8",
+    "I16",
+    "I32",
+    "I64",
+    "F32",
+    "F64",
+    "PTR",
+    "Opcode",
+    "ICmpPred",
+    "FCmpPred",
+    "Value",
+    "Constant",
+    "Argument",
+    "GlobalVariable",
+    "UndefValue",
+    "Instruction",
+    "PhiInstruction",
+    "BasicBlock",
+    "Function",
+    "Module",
+    "IRBuilder",
+    "VerificationError",
+    "verify_function",
+    "verify_module",
+    "print_module",
+    "print_function",
+    "IrParseError",
+    "parse_module",
+    "DataFlowGraph",
+    "ControlFlowInfo",
+]

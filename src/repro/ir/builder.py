@@ -1,0 +1,308 @@
+"""IRBuilder: the construction API used by the frontend and by tests.
+
+Mirrors LLVM's ``IRBuilder``: holds an insertion point (a basic block) and
+offers one method per opcode, with eager type checking so malformed IR is
+rejected at build time rather than at verification time.
+"""
+
+from __future__ import annotations
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction, PhiInstruction
+from repro.ir.opcodes import (
+    FCmpPred,
+    FLOAT_BINARY_OPS,
+    ICmpPred,
+    INT_BINARY_OPS,
+    Opcode,
+)
+from repro.ir.types import F32, F64, I1, PTR, Type, VOID
+from repro.ir.values import Constant, Value
+
+
+class IRBuilder:
+    """Builds instructions into a current basic block."""
+
+    def __init__(self, block: BasicBlock | None = None) -> None:
+        self.block = block
+
+    # -- positioning ---------------------------------------------------------
+    def set_block(self, block: BasicBlock) -> None:
+        self.block = block
+
+    @property
+    def function(self) -> Function:
+        if self.block is None or self.block.parent is None:
+            raise ValueError("builder has no insertion point")
+        return self.block.parent
+
+    def _insert(self, instr: Instruction, name_hint: str) -> Instruction:
+        if self.block is None:
+            raise ValueError("builder has no insertion point")
+        if instr.has_result and not instr.name:
+            instr.name = self.function.fresh_name(name_hint)
+        return self.block.append(instr)
+
+    # -- constants -------------------------------------------------------------
+    @staticmethod
+    def const(ty: Type, value) -> Constant:
+        return Constant(ty, value)
+
+    @staticmethod
+    def i32(value: int) -> Constant:
+        from repro.ir.types import I32
+
+        return Constant(I32, value)
+
+    @staticmethod
+    def i64(value: int) -> Constant:
+        from repro.ir.types import I64
+
+        return Constant(I64, value)
+
+    @staticmethod
+    def f64(value: float) -> Constant:
+        return Constant(F64, value)
+
+    @staticmethod
+    def true() -> Constant:
+        return Constant(I1, 1)
+
+    @staticmethod
+    def false() -> Constant:
+        return Constant(I1, 0)
+
+    # -- arithmetic ------------------------------------------------------------
+    def binop(self, op: Opcode, lhs: Value, rhs: Value, name: str = "") -> Instruction:
+        if lhs.type != rhs.type:
+            raise TypeError(f"{op}: operand types differ ({lhs.type} vs {rhs.type})")
+        if op in INT_BINARY_OPS and not lhs.type.is_int:
+            raise TypeError(f"{op}: requires integer operands, got {lhs.type}")
+        if op in FLOAT_BINARY_OPS and not lhs.type.is_float:
+            raise TypeError(f"{op}: requires float operands, got {lhs.type}")
+        instr = Instruction(op, lhs.type, [lhs, rhs], name)
+        return self._insert(instr, op.value)
+
+    def add(self, a, b, name=""):
+        return self.binop(Opcode.ADD, a, b, name)
+
+    def sub(self, a, b, name=""):
+        return self.binop(Opcode.SUB, a, b, name)
+
+    def mul(self, a, b, name=""):
+        return self.binop(Opcode.MUL, a, b, name)
+
+    def sdiv(self, a, b, name=""):
+        return self.binop(Opcode.SDIV, a, b, name)
+
+    def udiv(self, a, b, name=""):
+        return self.binop(Opcode.UDIV, a, b, name)
+
+    def srem(self, a, b, name=""):
+        return self.binop(Opcode.SREM, a, b, name)
+
+    def urem(self, a, b, name=""):
+        return self.binop(Opcode.UREM, a, b, name)
+
+    def and_(self, a, b, name=""):
+        return self.binop(Opcode.AND, a, b, name)
+
+    def or_(self, a, b, name=""):
+        return self.binop(Opcode.OR, a, b, name)
+
+    def xor(self, a, b, name=""):
+        return self.binop(Opcode.XOR, a, b, name)
+
+    def shl(self, a, b, name=""):
+        return self.binop(Opcode.SHL, a, b, name)
+
+    def lshr(self, a, b, name=""):
+        return self.binop(Opcode.LSHR, a, b, name)
+
+    def ashr(self, a, b, name=""):
+        return self.binop(Opcode.ASHR, a, b, name)
+
+    def fadd(self, a, b, name=""):
+        return self.binop(Opcode.FADD, a, b, name)
+
+    def fsub(self, a, b, name=""):
+        return self.binop(Opcode.FSUB, a, b, name)
+
+    def fmul(self, a, b, name=""):
+        return self.binop(Opcode.FMUL, a, b, name)
+
+    def fdiv(self, a, b, name=""):
+        return self.binop(Opcode.FDIV, a, b, name)
+
+    def frem(self, a, b, name=""):
+        return self.binop(Opcode.FREM, a, b, name)
+
+    def fneg(self, a: Value, name: str = "") -> Instruction:
+        if not a.type.is_float:
+            raise TypeError(f"fneg: requires float operand, got {a.type}")
+        return self._insert(Instruction(Opcode.FNEG, a.type, [a], name), "fneg")
+
+    # -- comparisons -------------------------------------------------------
+    def icmp(self, pred: ICmpPred, lhs: Value, rhs: Value, name: str = "") -> Instruction:
+        if lhs.type != rhs.type:
+            raise TypeError(f"icmp: operand types differ ({lhs.type} vs {rhs.type})")
+        if not (lhs.type.is_int or lhs.type.is_ptr):
+            raise TypeError(f"icmp: requires int/ptr operands, got {lhs.type}")
+        instr = Instruction(Opcode.ICMP, I1, [lhs, rhs], name, pred=pred)
+        return self._insert(instr, "cmp")
+
+    def fcmp(self, pred: FCmpPred, lhs: Value, rhs: Value, name: str = "") -> Instruction:
+        if lhs.type != rhs.type:
+            raise TypeError(f"fcmp: operand types differ ({lhs.type} vs {rhs.type})")
+        if not lhs.type.is_float:
+            raise TypeError(f"fcmp: requires float operands, got {lhs.type}")
+        instr = Instruction(Opcode.FCMP, I1, [lhs, rhs], name, pred=pred)
+        return self._insert(instr, "fcmp")
+
+    # -- casts -------------------------------------------------------------
+    def cast(self, op: Opcode, value: Value, to_type: Type, name: str = "") -> Instruction:
+        self._check_cast(op, value.type, to_type)
+        return self._insert(Instruction(op, to_type, [value], name), op.value)
+
+    @staticmethod
+    def _check_cast(op: Opcode, src: Type, dst: Type) -> None:
+        ok = {
+            Opcode.ZEXT: src.is_int and dst.is_int and dst.bits > src.bits,
+            Opcode.SEXT: src.is_int and dst.is_int and dst.bits > src.bits,
+            Opcode.TRUNC: src.is_int and dst.is_int and dst.bits < src.bits,
+            Opcode.FPTOSI: src.is_float and dst.is_int,
+            Opcode.SITOFP: src.is_int and dst.is_float,
+            Opcode.FPEXT: src == F32 and dst == F64,
+            Opcode.FPTRUNC: src == F64 and dst == F32,
+            Opcode.BITCAST: src.size_bytes == dst.size_bytes,
+        }.get(op)
+        if ok is None:
+            raise TypeError(f"{op} is not a cast opcode")
+        if not ok:
+            raise TypeError(f"invalid cast {op}: {src} -> {dst}")
+
+    def zext(self, v, ty, name=""):
+        return self.cast(Opcode.ZEXT, v, ty, name)
+
+    def sext(self, v, ty, name=""):
+        return self.cast(Opcode.SEXT, v, ty, name)
+
+    def trunc(self, v, ty, name=""):
+        return self.cast(Opcode.TRUNC, v, ty, name)
+
+    def fptosi(self, v, ty, name=""):
+        return self.cast(Opcode.FPTOSI, v, ty, name)
+
+    def sitofp(self, v, ty, name=""):
+        return self.cast(Opcode.SITOFP, v, ty, name)
+
+    def fpext(self, v, name=""):
+        return self.cast(Opcode.FPEXT, v, F64, name)
+
+    def fptrunc(self, v, name=""):
+        return self.cast(Opcode.FPTRUNC, v, F32, name)
+
+    # -- select / phi ------------------------------------------------------
+    def select(self, cond: Value, if_true: Value, if_false: Value, name: str = ""):
+        if cond.type != I1:
+            raise TypeError(f"select: condition must be i1, got {cond.type}")
+        if if_true.type != if_false.type:
+            raise TypeError(
+                f"select: arm types differ ({if_true.type} vs {if_false.type})"
+            )
+        instr = Instruction(
+            Opcode.SELECT, if_true.type, [cond, if_true, if_false], name
+        )
+        return self._insert(instr, "sel")
+
+    def phi(self, ty: Type, name: str = "") -> PhiInstruction:
+        """Insert a phi at the start of the current block's phi group."""
+        if self.block is None:
+            raise ValueError("builder has no insertion point")
+        instr = PhiInstruction(ty, name or self.function.fresh_name("phi"))
+        index = len(self.block.phis())
+        self.block.insert(index, instr)
+        return instr
+
+    # -- memory ------------------------------------------------------------
+    def alloca(self, elem_type: Type, count: int = 1, name: str = "") -> Instruction:
+        instr = Instruction(
+            Opcode.ALLOCA,
+            PTR,
+            [],
+            name,
+            elem_size=elem_type.size_bytes,
+            alloc_count=count,
+        )
+        return self._insert(instr, "ptr")
+
+    def load(self, ty: Type, ptr: Value, name: str = "") -> Instruction:
+        if not ptr.type.is_ptr:
+            raise TypeError(f"load: pointer operand required, got {ptr.type}")
+        return self._insert(Instruction(Opcode.LOAD, ty, [ptr], name), "ld")
+
+    def store(self, value: Value, ptr: Value) -> Instruction:
+        if not ptr.type.is_ptr:
+            raise TypeError(f"store: pointer operand required, got {ptr.type}")
+        return self._insert(Instruction(Opcode.STORE, VOID, [value, ptr]), "")
+
+    def gep(self, ptr: Value, index: Value, elem_size: int, name: str = "") -> Instruction:
+        """Pointer arithmetic: ``ptr + index * elem_size`` (bytes)."""
+        if not ptr.type.is_ptr:
+            raise TypeError(f"gep: pointer operand required, got {ptr.type}")
+        if not index.type.is_int:
+            raise TypeError(f"gep: integer index required, got {index.type}")
+        if elem_size <= 0:
+            raise ValueError("gep: elem_size must be positive")
+        instr = Instruction(Opcode.GEP, PTR, [ptr, index], name, elem_size=elem_size)
+        return self._insert(instr, "gep")
+
+    # -- control flow ------------------------------------------------------
+    def br(self, target: BasicBlock) -> Instruction:
+        instr = Instruction(Opcode.BR, VOID, [], targets=[target])
+        return self._insert(instr, "")
+
+    def condbr(
+        self, cond: Value, if_true: BasicBlock, if_false: BasicBlock
+    ) -> Instruction:
+        if cond.type != I1:
+            raise TypeError(f"condbr: condition must be i1, got {cond.type}")
+        instr = Instruction(Opcode.CONDBR, VOID, [cond], targets=[if_true, if_false])
+        return self._insert(instr, "")
+
+    def ret(self, value: Value | None = None) -> Instruction:
+        operands = [value] if value is not None else []
+        instr = Instruction(Opcode.RET, VOID, operands)
+        return self._insert(instr, "")
+
+    def call(self, callee, args: list[Value], name: str = "") -> Instruction:
+        """Call a :class:`Function` or an intrinsic (callee given as str)."""
+        if isinstance(callee, str):
+            from repro.vm.intrinsics import intrinsic_signature
+
+            ret_ty, param_tys = intrinsic_signature(callee)
+            if len(args) != len(param_tys):
+                raise TypeError(
+                    f"call {callee}: expected {len(param_tys)} args, got {len(args)}"
+                )
+            for a, ty in zip(args, param_tys):
+                if a.type != ty:
+                    raise TypeError(
+                        f"call {callee}: argument type {a.type}, expected {ty}"
+                    )
+        else:
+            ret_ty = callee.return_type
+            if len(args) != len(callee.args):
+                raise TypeError(
+                    f"call {callee.name}: expected {len(callee.args)} args, "
+                    f"got {len(args)}"
+                )
+            for a, formal in zip(args, callee.args):
+                if a.type != formal.type:
+                    raise TypeError(
+                        f"call {callee.name}: argument type {a.type}, "
+                        f"expected {formal.type}"
+                    )
+        instr = Instruction(Opcode.CALL, ret_ty, list(args), name, callee=callee)
+        return self._insert(instr, "call" if not ret_ty.is_void else "")

@@ -1,0 +1,94 @@
+"""Functions: argument lists plus an ordered list of basic blocks."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.instructions import Instruction
+from repro.ir.types import Type
+from repro.ir.values import Argument
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ir.module import Module
+
+
+class Function:
+    """An IR function.
+
+    The first block in ``blocks`` is the entry block. Value names are made
+    unique per-function via ``next_value_id``.
+    """
+
+    __slots__ = (
+        "name",
+        "return_type",
+        "args",
+        "blocks",
+        "parent",
+        "next_value_id",
+        "attributes",
+    )
+
+    def __init__(self, name: str, return_type: Type, arg_types: list[tuple[str, Type]]):
+        self.name = name
+        self.return_type = return_type
+        self.args: list[Argument] = []
+        for i, (arg_name, ty) in enumerate(arg_types):
+            arg = Argument(ty, arg_name or f"arg{i}", i)
+            arg.function = self
+            self.args.append(arg)
+        self.blocks: list[BasicBlock] = []
+        self.parent: "Module | None" = None
+        self.next_value_id = 0
+        # Free-form attributes, e.g. {"inline_hint": True, "no_inline": True}
+        self.attributes: dict[str, object] = {}
+
+    # -- construction ------------------------------------------------------
+    def add_block(self, name: str = "") -> BasicBlock:
+        if not name:
+            name = f"bb{len(self.blocks)}"
+        if any(b.name == name for b in self.blocks):
+            raise ValueError(f"duplicate block name {name!r} in function {self.name}")
+        block = BasicBlock(name, parent=self)
+        self.blocks.append(block)
+        return block
+
+    def remove_block(self, block: BasicBlock) -> None:
+        self.blocks.remove(block)
+        block.parent = None
+
+    def fresh_name(self, hint: str = "v") -> str:
+        self.next_value_id += 1
+        return f"{hint}{self.next_value_id}"
+
+    # -- queries -------------------------------------------------------------
+    @property
+    def entry(self) -> BasicBlock:
+        if not self.blocks:
+            raise ValueError(f"function {self.name} has no blocks")
+        return self.blocks[0]
+
+    @property
+    def is_declaration(self) -> bool:
+        return not self.blocks
+
+    def block_named(self, name: str) -> BasicBlock:
+        for b in self.blocks:
+            if b.name == name:
+                return b
+        raise KeyError(f"no block named {name!r} in function {self.name}")
+
+    def instructions(self) -> Iterator[Instruction]:
+        for block in self.blocks:
+            yield from block.instructions
+
+    @property
+    def instruction_count(self) -> int:
+        return sum(len(b) for b in self.blocks)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<Function {self.name}({', '.join(str(a.type) for a in self.args)}) "
+            f"-> {self.return_type}, {len(self.blocks)} blocks>"
+        )

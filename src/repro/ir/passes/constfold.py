@@ -1,0 +1,261 @@
+"""Constant folding plus simple algebraic simplification (instcombine-lite).
+
+Folds pure instructions whose operands are all constants, and applies a
+small set of identities (x+0, x*1, x*0, x-x, x&0, x|0, select on constant,
+branch on constant is left to simplify-cfg).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction
+from repro.ir.opcodes import FCmpPred, ICmpPred, Opcode
+from repro.ir.passes.manager import FunctionPass
+from repro.ir.types import Type, to_unsigned, wrap_int
+from repro.ir.values import Constant, Value
+
+
+class ConstantFoldError(ArithmeticError):
+    """Raised for fold attempts that would trap at runtime (e.g. div by 0)."""
+
+
+def fold_binary(op: Opcode, ty: Type, a, b):
+    """Fold a binary op on Python scalar values; returns the raw result."""
+    if op is Opcode.ADD:
+        return wrap_int(a + b, ty)
+    if op is Opcode.SUB:
+        return wrap_int(a - b, ty)
+    if op is Opcode.MUL:
+        return wrap_int(a * b, ty)
+    if op is Opcode.SDIV:
+        if b == 0:
+            raise ConstantFoldError("sdiv by zero")
+        return wrap_int(int(a / b) if b != 0 else 0, ty)
+    if op is Opcode.UDIV:
+        if b == 0:
+            raise ConstantFoldError("udiv by zero")
+        return wrap_int(to_unsigned(a, ty) // to_unsigned(b, ty), ty)
+    if op is Opcode.SREM:
+        if b == 0:
+            raise ConstantFoldError("srem by zero")
+        return wrap_int(int(math.fmod(a, b)), ty)
+    if op is Opcode.UREM:
+        if b == 0:
+            raise ConstantFoldError("urem by zero")
+        return wrap_int(to_unsigned(a, ty) % to_unsigned(b, ty), ty)
+    if op is Opcode.AND:
+        return wrap_int(a & b, ty)
+    if op is Opcode.OR:
+        return wrap_int(a | b, ty)
+    if op is Opcode.XOR:
+        return wrap_int(a ^ b, ty)
+    if op is Opcode.SHL:
+        return wrap_int(a << (b % ty.bits), ty)
+    if op is Opcode.LSHR:
+        return wrap_int(to_unsigned(a, ty) >> (b % ty.bits), ty)
+    if op is Opcode.ASHR:
+        return wrap_int(a >> (b % ty.bits), ty)
+    if op is Opcode.FADD:
+        return a + b
+    if op is Opcode.FSUB:
+        return a - b
+    if op is Opcode.FMUL:
+        return a * b
+    if op is Opcode.FDIV:
+        if b == 0.0:
+            return math.inf if a > 0 else (-math.inf if a < 0 else math.nan)
+        return a / b
+    if op is Opcode.FREM:
+        if b == 0.0:
+            return math.nan
+        return math.fmod(a, b)
+    raise ValueError(f"not a foldable binary op: {op}")
+
+
+def fold_icmp(pred: ICmpPred, ty: Type, a: int, b: int) -> int:
+    ua, ub = to_unsigned(a, ty), to_unsigned(b, ty)
+    table = {
+        ICmpPred.EQ: a == b,
+        ICmpPred.NE: a != b,
+        ICmpPred.SLT: a < b,
+        ICmpPred.SLE: a <= b,
+        ICmpPred.SGT: a > b,
+        ICmpPred.SGE: a >= b,
+        ICmpPred.ULT: ua < ub,
+        ICmpPred.ULE: ua <= ub,
+        ICmpPred.UGT: ua > ub,
+        ICmpPred.UGE: ua >= ub,
+    }
+    return int(table[pred])
+
+
+def fold_fcmp(pred: FCmpPred, a: float, b: float) -> int:
+    if math.isnan(a) or math.isnan(b):
+        return 0  # ordered predicates are false on NaN
+    table = {
+        FCmpPred.OEQ: a == b,
+        FCmpPred.ONE: a != b,
+        FCmpPred.OLT: a < b,
+        FCmpPred.OLE: a <= b,
+        FCmpPred.OGT: a > b,
+        FCmpPred.OGE: a >= b,
+    }
+    return int(table[pred])
+
+
+def fold_cast(op: Opcode, src_ty: Type, dst_ty: Type, value):
+    import struct
+
+    if op in (Opcode.ZEXT,):
+        return wrap_int(to_unsigned(value, src_ty), dst_ty)
+    if op is Opcode.SEXT:
+        return wrap_int(value, dst_ty)
+    if op is Opcode.TRUNC:
+        return wrap_int(value, dst_ty)
+    if op is Opcode.FPTOSI:
+        if math.isnan(value) or math.isinf(value):
+            return 0
+        return wrap_int(int(value), dst_ty)
+    if op is Opcode.SITOFP:
+        return float(value)
+    if op is Opcode.FPEXT:
+        return float(value)
+    if op is Opcode.FPTRUNC:
+        return struct.unpack("f", struct.pack("f", value))[0]
+    if op is Opcode.BITCAST:
+        if src_ty.is_int and dst_ty.is_float:
+            fmt = ("q", "d") if src_ty.bits == 64 else ("i", "f")
+            return struct.unpack(fmt[1], struct.pack(fmt[0], value))[0]
+        if src_ty.is_float and dst_ty.is_int:
+            fmt = ("d", "q") if src_ty.bits == 64 else ("f", "i")
+            return wrap_int(
+                struct.unpack(fmt[1], struct.pack(fmt[0], value))[0], dst_ty
+            )
+        return value
+    raise ValueError(f"not a cast op: {op}")
+
+
+class ConstantFoldPass(FunctionPass):
+    name = "constfold"
+
+    def run_on_function(self, func: Function) -> bool:
+        changed = False
+        again = True
+        while again:
+            again = False
+            for block in func.blocks:
+                for instr in list(block.instructions):
+                    replacement = self._simplify(instr)
+                    if replacement is not None:
+                        self._replace(func, instr, replacement)
+                        block.remove(instr)
+                        changed = True
+                        again = True
+        return changed
+
+    # -- simplification rules ------------------------------------------------
+    def _simplify(self, instr: Instruction) -> Value | None:
+        from repro.ir.opcodes import BINARY_OPS, CAST_OPS
+
+        op = instr.opcode
+        ops = instr.operands
+        if op in BINARY_OPS:
+            lhs, rhs = ops
+            if isinstance(lhs, Constant) and isinstance(rhs, Constant):
+                try:
+                    value = fold_binary(op, instr.type, lhs.value, rhs.value)
+                except ConstantFoldError:
+                    return None  # keep the trap at runtime
+                return Constant(instr.type, value)
+            return self._algebraic(instr, lhs, rhs)
+        if op is Opcode.ICMP and all(isinstance(o, Constant) for o in ops):
+            from repro.ir.types import I1
+
+            return Constant(
+                I1, fold_icmp(instr.pred, ops[0].type, ops[0].value, ops[1].value)
+            )
+        if op is Opcode.FCMP and all(isinstance(o, Constant) for o in ops):
+            from repro.ir.types import I1
+
+            return Constant(I1, fold_fcmp(instr.pred, ops[0].value, ops[1].value))
+        if op in CAST_OPS and isinstance(ops[0], Constant):
+            return Constant(
+                instr.type, fold_cast(op, ops[0].type, instr.type, ops[0].value)
+            )
+        if op is Opcode.FNEG and isinstance(ops[0], Constant):
+            return Constant(instr.type, -ops[0].value)
+        if op is Opcode.SELECT and isinstance(ops[0], Constant):
+            return ops[1] if ops[0].value else ops[2]
+        if op is Opcode.SELECT and ops[1] is ops[2]:
+            return ops[1]
+        return None
+
+    @staticmethod
+    def _algebraic(instr: Instruction, lhs: Value, rhs: Value) -> Value | None:
+        op = instr.opcode
+        ty = instr.type
+
+        def is_const(v: Value, value) -> bool:
+            return isinstance(v, Constant) and v.value == value
+
+        if op is Opcode.ADD:
+            if is_const(rhs, 0):
+                return lhs
+            if is_const(lhs, 0):
+                return rhs
+        elif op is Opcode.SUB:
+            if is_const(rhs, 0):
+                return lhs
+            if lhs is rhs:
+                return Constant(ty, 0)
+        elif op is Opcode.MUL:
+            if is_const(rhs, 1):
+                return lhs
+            if is_const(lhs, 1):
+                return rhs
+            if is_const(rhs, 0) or is_const(lhs, 0):
+                return Constant(ty, 0)
+        elif op in (Opcode.SDIV, Opcode.UDIV):
+            if is_const(rhs, 1):
+                return lhs
+        elif op is Opcode.AND:
+            if is_const(rhs, 0) or is_const(lhs, 0):
+                return Constant(ty, 0)
+            if lhs is rhs:
+                return lhs
+            if is_const(rhs, -1):
+                return lhs
+        elif op is Opcode.OR:
+            if is_const(rhs, 0):
+                return lhs
+            if is_const(lhs, 0):
+                return rhs
+            if lhs is rhs:
+                return lhs
+        elif op is Opcode.XOR:
+            if is_const(rhs, 0):
+                return lhs
+            if lhs is rhs:
+                return Constant(ty, 0)
+        elif op in (Opcode.SHL, Opcode.LSHR, Opcode.ASHR):
+            if is_const(rhs, 0):
+                return lhs
+        elif op is Opcode.FMUL:
+            if is_const(rhs, 1.0):
+                return lhs
+            if is_const(lhs, 1.0):
+                return rhs
+        elif op in (Opcode.FADD, Opcode.FSUB):
+            # 0.0 identities are unsafe under signed zero only for FSUB(0,x);
+            # x+0.0 and x-0.0 preserve value for all finite x and NaN.
+            if is_const(rhs, 0.0):
+                return lhs
+        return None
+
+    @staticmethod
+    def _replace(func: Function, old: Instruction, new: Value) -> None:
+        for block in func.blocks:
+            for instr in block.instructions:
+                instr.replace_operand(old, new)

@@ -1,0 +1,88 @@
+"""Dominator-scoped common subexpression elimination.
+
+Walks the dominator tree with a scoped hash table: a pure instruction whose
+(opcode, predicate, operand identities) key was already computed in a
+dominating position is replaced by the earlier value. Commutative operations
+are canonicalised by sorting operand keys.
+"""
+
+from __future__ import annotations
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.cfg import ControlFlowInfo
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction
+from repro.ir.opcodes import COMMUTATIVE_OPS, Opcode, is_pure
+from repro.ir.passes.manager import FunctionPass
+from repro.ir.values import Constant, Value
+
+
+def _operand_key(value: Value):
+    if isinstance(value, Constant):
+        return ("const", str(value.type), repr(value.value))
+    return ("val", id(value))
+
+
+def _instr_key(instr: Instruction):
+    op_keys = [_operand_key(o) for o in instr.operands]
+    if instr.opcode in COMMUTATIVE_OPS:
+        op_keys.sort()
+    return (
+        instr.opcode.value,
+        str(instr.type),
+        instr.pred.value if instr.pred is not None else "",
+        instr.elem_size,
+        tuple(op_keys),
+    )
+
+
+class CommonSubexpressionEliminationPass(FunctionPass):
+    name = "cse"
+
+    def run_on_function(self, func: Function) -> bool:
+        cfg = ControlFlowInfo(func)
+        children: dict[int, list[BasicBlock]] = {id(b): [] for b in cfg.rpo}
+        for block in cfg.rpo:
+            idom = cfg.immediate_dominator(block)
+            if idom is not None:
+                children[id(idom)].append(block)
+
+        changed = False
+        available: dict = {}
+
+        def walk(block: BasicBlock) -> None:
+            nonlocal changed
+            added: list = []
+            for instr in list(block.instructions):
+                # GEP is pure but address identity matters for nothing here;
+                # loads are NOT CSE'd (no alias analysis).
+                if not is_pure(instr.opcode) or instr.opcode is Opcode.PHI:
+                    continue
+                key = _instr_key(instr)
+                if key in available:
+                    _replace_uses(func, instr, available[key])
+                    block.remove(instr)
+                    changed = True
+                else:
+                    available[key] = instr
+                    added.append(key)
+            for child in children.get(id(block), []):
+                walk(child)
+            for key in added:
+                del available[key]
+
+        import sys
+
+        old_limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(old_limit, 10000))
+        try:
+            walk(func.entry)
+        finally:
+            sys.setrecursionlimit(old_limit)
+        return changed
+
+
+def _replace_uses(func: Function, old: Value, new: Value) -> None:
+    for block in func.blocks:
+        for instr in block.instructions:
+            instr.replace_operand(old, new)

@@ -1,0 +1,34 @@
+"""Dead code elimination: remove pure instructions with no uses."""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction
+from repro.ir.opcodes import Opcode, is_pure
+from repro.ir.passes.manager import FunctionPass
+from repro.ir.passes.utils import build_use_counts
+
+
+class DeadCodeEliminationPass(FunctionPass):
+    name = "dce"
+
+    def run_on_function(self, func: Function) -> bool:
+        changed = False
+        while True:
+            use_counts = build_use_counts(func)
+            dead: list[Instruction] = []
+            for block in func.blocks:
+                for instr in block.instructions:
+                    if use_counts.get(id(instr), 0) > 0:
+                        continue
+                    if is_pure(instr.opcode) or instr.opcode in (
+                        Opcode.PHI,
+                        Opcode.ALLOCA,
+                    ):
+                        dead.append(instr)
+            if not dead:
+                return changed
+            for instr in dead:
+                if instr.parent is not None:
+                    instr.parent.remove(instr)
+            changed = True

@@ -1,0 +1,185 @@
+"""Function inlining.
+
+Inlines calls to small, non-recursive functions (or any function marked
+``inline_hint``). Cloning maps callee values to fresh instructions; the
+call block is split at the call site, callee ``ret`` instructions become
+branches to the continuation block, and a phi merges return values when the
+callee has several returns.
+"""
+
+from __future__ import annotations
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction, PhiInstruction
+from repro.ir.module import Module
+from repro.ir.opcodes import Opcode
+from repro.ir.passes.manager import ModulePass
+from repro.ir.values import Value
+
+DEFAULT_SIZE_THRESHOLD = 40
+
+
+class InlinePass(ModulePass):
+    name = "inline"
+
+    def __init__(self, size_threshold: int = DEFAULT_SIZE_THRESHOLD) -> None:
+        self.size_threshold = size_threshold
+
+    def run(self, module: Module) -> bool:
+        changed = False
+        for func in list(module.defined_functions()):
+            # Iterate because inlining may expose further inlinable calls;
+            # bound the rounds to avoid pathological growth.
+            for _ in range(4):
+                call = self._find_inlinable_call(module, func)
+                if call is None:
+                    break
+                self._inline_call(func, call)
+                changed = True
+        return changed
+
+    # -- policy ------------------------------------------------------------
+    def _find_inlinable_call(
+        self, module: Module, func: Function
+    ) -> Instruction | None:
+        for block in func.blocks:
+            for instr in block.instructions:
+                if instr.opcode is not Opcode.CALL:
+                    continue
+                callee = instr.callee
+                if isinstance(callee, str):
+                    continue  # intrinsic
+                if callee.is_declaration or callee is func:
+                    continue
+                if callee.attributes.get("no_inline"):
+                    continue
+                if self._is_recursive(callee):
+                    continue
+                small = callee.instruction_count <= self.size_threshold
+                if small or callee.attributes.get("inline_hint"):
+                    return instr
+        return None
+
+    @staticmethod
+    def _is_recursive(func: Function) -> bool:
+        for block in func.blocks:
+            for instr in block.instructions:
+                if instr.opcode is Opcode.CALL and instr.callee is func:
+                    return True
+        return False
+
+    # -- mechanics ---------------------------------------------------------
+    def _inline_call(self, caller: Function, call: Instruction) -> None:
+        callee: Function = call.callee
+        call_block = call.parent
+        assert call_block is not None
+
+        # 1. Split the call block: everything after the call moves to `cont`.
+        cont = caller.add_block(caller.fresh_name(f"{callee.name}.cont."))
+        call_index = call_block.instructions.index(call)
+        tail = call_block.instructions[call_index + 1 :]
+        del call_block.instructions[call_index + 1 :]
+        for instr in tail:
+            instr.parent = cont
+            cont.instructions.append(instr)
+        # Phi nodes in successors of the original block must be re-pointed
+        # at `cont` (the terminator moved there).
+        for succ in cont.successors:
+            for phi in succ.phis():
+                for i, inc in enumerate(phi.incoming_blocks):
+                    if inc is call_block:
+                        phi.incoming_blocks[i] = cont
+
+        # 2. Clone the callee's *reachable* blocks and instructions
+        # (unreachable blocks may contain placeholder returns the frontend
+        # parked after explicit `return` statements).
+        from repro.ir.cfg import reverse_postorder
+
+        callee_blocks = reverse_postorder(callee)
+        value_map: dict[int, Value] = {}
+        for arg, actual in zip(callee.args, call.operands):
+            value_map[id(arg)] = actual
+        block_map: dict[int, BasicBlock] = {}
+        for src_block in callee_blocks:
+            clone = caller.add_block(
+                caller.fresh_name(f"{callee.name}.{src_block.name}.")
+            )
+            block_map[id(src_block)] = clone
+
+        returns: list[tuple[BasicBlock, Value | None]] = []
+        for src_block in callee_blocks:
+            clone = block_map[id(src_block)]
+            for instr in src_block.instructions:
+                if instr.opcode is Opcode.RET:
+                    ret_val = instr.operands[0] if instr.operands else None
+                    returns.append((clone, ret_val))
+                    br = Instruction(Opcode.BR, instr.type, [], targets=[cont])
+                    clone.append(br)
+                    continue
+                new_instr = self._clone_instruction(caller, instr, block_map)
+                clone.append(new_instr) if not isinstance(
+                    new_instr, PhiInstruction
+                ) else clone.insert(len(clone.phis()), new_instr)
+                value_map[id(instr)] = new_instr
+
+        # 3. Remap operands of the cloned instructions (two-phase so that
+        # forward references, e.g. phis of loop headers, resolve).
+        for src_block in callee_blocks:
+            clone = block_map[id(src_block)]
+            for instr in clone.instructions:
+                for i, op in enumerate(instr.operands):
+                    if id(op) in value_map:
+                        instr.operands[i] = value_map[id(op)]
+                if isinstance(instr, PhiInstruction):
+                    for i, blk in enumerate(instr.incoming_blocks):
+                        instr.incoming_blocks[i] = block_map[id(blk)]
+
+        # 4. Wire the call block into the cloned entry; replace the call's
+        # value with a merged return value.
+        call_block.remove(call)
+        entry_clone = block_map[id(callee.entry)]
+        call_block.append(Instruction(Opcode.BR, call.type, [], targets=[entry_clone]))
+
+        if call.has_result:
+            mapped_returns = [
+                (blk, value_map.get(id(v), v)) for blk, v in returns if v is not None
+            ]
+            if len(mapped_returns) == 1:
+                replacement: Value = mapped_returns[0][1]
+            else:
+                phi = PhiInstruction(call.type, caller.fresh_name("retphi"))
+                for blk, val in mapped_returns:
+                    phi.add_incoming(val, blk)
+                cont.insert(0, phi)
+                replacement = phi
+            for block in caller.blocks:
+                for instr in block.instructions:
+                    instr.replace_operand(call, replacement)
+
+    @staticmethod
+    def _clone_instruction(
+        caller: Function,
+        instr: Instruction,
+        block_map: dict[int, BasicBlock],
+    ) -> Instruction:
+        name = caller.fresh_name(instr.name or "i") if instr.has_result else ""
+        if isinstance(instr, PhiInstruction):
+            clone = PhiInstruction(instr.type, name)
+            clone.operands = list(instr.operands)
+            clone.incoming_blocks = list(instr.incoming_blocks)
+            return clone
+        targets = [block_map[id(t)] for t in instr.targets]
+        clone = Instruction(
+            instr.opcode,
+            instr.type,
+            list(instr.operands),
+            name,
+            targets=targets,
+            pred=instr.pred,
+            callee=instr.callee,
+            elem_size=instr.elem_size,
+            alloc_count=instr.alloc_count,
+            custom_id=instr.custom_id,
+        )
+        return clone

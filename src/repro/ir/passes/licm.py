@@ -1,0 +1,83 @@
+"""Loop-invariant code motion (conservative).
+
+Hoists pure instructions whose operands are all loop-invariant out of
+natural loops. Hoisting requires a *preheader*: a unique out-of-loop
+predecessor of the header whose only successor is the header. The frontend's
+loop lowering produces such blocks for ``while``/``for`` loops, so this pass
+does not create preheaders itself — loops without one are skipped.
+
+Division is not hoisted (it may trap and the loop body may be guarded).
+"""
+
+from __future__ import annotations
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.cfg import ControlFlowInfo, NaturalLoop
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction
+from repro.ir.opcodes import Opcode, is_pure
+from repro.ir.passes.manager import FunctionPass
+from repro.ir.values import Constant, Value
+
+_NO_HOIST = {Opcode.SDIV, Opcode.UDIV, Opcode.SREM, Opcode.UREM, Opcode.PHI}
+
+
+class LoopInvariantCodeMotionPass(FunctionPass):
+    name = "licm"
+
+    def run_on_function(self, func: Function) -> bool:
+        cfg = ControlFlowInfo(func)
+        changed = False
+        # Process larger (outer) loops last so inner-loop hoists can cascade.
+        for loop in sorted(cfg.loops, key=lambda l: len(l.members)):
+            preheader = self._find_preheader(cfg, loop)
+            if preheader is None:
+                continue
+            changed |= self._hoist_from_loop(loop, preheader)
+        return changed
+
+    @staticmethod
+    def _find_preheader(cfg: ControlFlowInfo, loop: NaturalLoop) -> BasicBlock | None:
+        outside_preds = [
+            p for p in cfg.predecessors(loop.header) if not loop.contains(p)
+        ]
+        if len(outside_preds) != 1:
+            return None
+        preheader = outside_preds[0]
+        if len(preheader.successors) != 1:
+            return None
+        return preheader
+
+    def _hoist_from_loop(self, loop: NaturalLoop, preheader: BasicBlock) -> bool:
+        loop_defs: set[int] = set()
+        for block in loop.members:
+            for instr in block.instructions:
+                loop_defs.add(id(instr))
+
+        changed = False
+        hoisted = True
+        while hoisted:
+            hoisted = False
+            for block in loop.members:
+                for instr in list(block.instructions):
+                    if not self._hoistable(instr, loop_defs):
+                        continue
+                    block.remove(instr)
+                    term = preheader.terminator
+                    assert term is not None
+                    preheader.remove(term)
+                    preheader.append(instr)
+                    preheader.append(term)
+                    loop_defs.discard(id(instr))
+                    hoisted = True
+                    changed = True
+        return changed
+
+    @staticmethod
+    def _hoistable(instr: Instruction, loop_defs: set[int]) -> bool:
+        if not is_pure(instr.opcode) or instr.opcode in _NO_HOIST:
+            return False
+        for op in instr.operands:
+            if isinstance(op, Instruction) and id(op) in loop_defs:
+                return False
+        return True

@@ -1,0 +1,117 @@
+"""Textual IR printer (LLVM-flavoured, for debugging and golden tests)."""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction, PhiInstruction
+from repro.ir.module import Module
+from repro.ir.opcodes import Opcode
+from repro.ir.values import Argument, Constant, GlobalVariable, UndefValue, Value
+
+
+def format_value(value: Value) -> str:
+    if isinstance(value, Constant):
+        return f"{value.type} {value.value}"
+    if isinstance(value, UndefValue):
+        return f"{value.type} undef"
+    if isinstance(value, GlobalVariable):
+        return f"ptr @{value.name}"
+    if isinstance(value, (Instruction, Argument)):
+        return f"{value.type} %{value.name}"
+    return repr(value)  # pragma: no cover
+
+
+def format_instruction(instr: Instruction) -> str:
+    op = instr.opcode
+    if isinstance(instr, PhiInstruction):
+        incoming = ", ".join(
+            f"[{format_value(v)}, {b.name}]" for v, b in instr.incoming
+        )
+        return f"%{instr.name} = phi {instr.type} {incoming}"
+    if op is Opcode.BR:
+        return f"br {instr.targets[0].name}"
+    if op is Opcode.CONDBR:
+        return (
+            f"condbr {format_value(instr.operands[0])}, "
+            f"{instr.targets[0].name}, {instr.targets[1].name}"
+        )
+    if op is Opcode.RET:
+        if instr.operands:
+            return f"ret {format_value(instr.operands[0])}"
+        return "ret void"
+    if op is Opcode.STORE:
+        return (
+            f"store {format_value(instr.operands[0])}, "
+            f"{format_value(instr.operands[1])}"
+        )
+    if op is Opcode.ALLOCA:
+        return (
+            f"%{instr.name} = alloca {instr.elem_size} x {instr.alloc_count}"
+        )
+    if op is Opcode.GEP:
+        return (
+            f"%{instr.name} = gep {format_value(instr.operands[0])}, "
+            f"{format_value(instr.operands[1])}, elem_size={instr.elem_size}"
+        )
+    if op is Opcode.CALL:
+        callee = instr.callee if isinstance(instr.callee, str) else instr.callee.name
+        args = ", ".join(format_value(a) for a in instr.operands)
+        if instr.has_result:
+            return f"%{instr.name} = call {instr.type} @{callee}({args})"
+        return f"call void @{callee}({args})"
+    if op in (Opcode.ICMP, Opcode.FCMP):
+        return (
+            f"%{instr.name} = {op.value} {instr.pred.value} "
+            f"{format_value(instr.operands[0])}, {format_value(instr.operands[1])}"
+        )
+    if op is Opcode.CUSTOM:
+        args = ", ".join(format_value(a) for a in instr.operands)
+        return f"%{instr.name} = custom {instr.type} #{instr.custom_id}({args})"
+    if op is Opcode.LOAD:
+        return f"%{instr.name} = load {instr.type}, {format_value(instr.operands[0])}"
+    # generic: binops, casts, select, fneg
+    operands = ", ".join(format_value(o) for o in instr.operands)
+    prefix = f"%{instr.name} = " if instr.has_result else ""
+    suffix = f" -> {instr.type}" if op.value in _CAST_NAMES else ""
+    return f"{prefix}{op.value} {operands}{suffix}"
+
+
+_CAST_NAMES = {
+    "zext",
+    "sext",
+    "trunc",
+    "fptosi",
+    "sitofp",
+    "fpext",
+    "fptrunc",
+    "bitcast",
+}
+
+
+def print_function(func: Function) -> str:
+    args = ", ".join(f"{a.type} %{a.name}" for a in func.args)
+    lines = [f"define {func.return_type} @{func.name}({args}) {{"]
+    for block in func.blocks:
+        lines.append(f"{block.name}:")
+        for instr in block.instructions:
+            lines.append(f"  {format_instruction(instr)}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_module(module: Module) -> str:
+    parts = [f"; module {module.name}"]
+    for gv in module.globals.values():
+        if gv.initializer is None:
+            init = ""
+        else:
+            values = ", ".join(repr(v) for v in gv.initializer)
+            init = f" init [{values}]"
+        parts.append(f"@{gv.name} = global {gv.elem_type} x {gv.count}{init}")
+    for func in module.functions.values():
+        if func.is_declaration:
+            args = ", ".join(str(a.type) for a in func.args)
+            parts.append(f"declare {func.return_type} @{func.name}({args})")
+        else:
+            parts.append(print_function(func))
+    return "\n\n".join(parts)

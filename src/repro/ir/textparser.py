@@ -1,0 +1,399 @@
+"""Parser for the textual IR format emitted by :mod:`repro.ir.printer`.
+
+Round-trips with the printer (``parse_module(print_module(m))`` rebuilds an
+equivalent module), enabling golden tests, IR diffing, and storing bitcode
+snapshots as text. Not a general-purpose assembler: it accepts exactly the
+printer's output grammar.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction, PhiInstruction
+from repro.ir.module import Module
+from repro.ir.opcodes import (
+    BINARY_OPS,
+    CAST_OPS,
+    FCmpPred,
+    ICmpPred,
+    Opcode,
+)
+from repro.ir.types import Type, VOID, type_from_name
+from repro.ir.values import Constant, UndefValue, Value
+
+
+class IrParseError(Exception):
+    """Raised on malformed IR text."""
+
+
+_GLOBAL_RE = re.compile(
+    r"^@(?P<name>\w+) = global (?P<ty>\w+) x (?P<count>\d+)"
+    r"(?: init \[(?P<init>.*)\])?$"
+)
+_DECLARE_RE = re.compile(r"^declare (?P<ret>\w+) @(?P<name>[\w.]+)\((?P<args>.*)\)$")
+_DEFINE_RE = re.compile(r"^define (?P<ret>\w+) @(?P<name>[\w.]+)\((?P<args>.*)\) \{$")
+_BLOCK_RE = re.compile(r"^(?P<name>[\w.]+):$")
+_VALUE_RE = re.compile(r"^(?P<ty>\w+) (?P<ref>%[\w.]+|@[\w.]+|undef|-?[\w.+-]+)$")
+
+
+class _FunctionBodyParser:
+    """Parses one function body with forward references resolved lazily."""
+
+    def __init__(self, module: Module, func: Function):
+        self.module = module
+        self.func = func
+        self.values: dict[str, Value] = {a.name: a for a in func.args}
+        self.blocks: dict[str, BasicBlock] = {}
+        # (instr, operand_index, value_name) fixups for forward refs
+        self.fixups: list[tuple[Instruction, int, str]] = []
+        self.phi_fixups: list[tuple[PhiInstruction, list[tuple[str, str, str]]]] = []
+        self.target_fixups: list[tuple[Instruction, list[str]]] = []
+
+    def block(self, name: str) -> BasicBlock:
+        if name not in self.blocks:
+            self.blocks[name] = self.func.add_block(name)
+        return self.blocks[name]
+
+    # -- value parsing ---------------------------------------------------------
+    def parse_typed_value(self, text: str, instr: Instruction, slot: int) -> Value | None:
+        """Parse ``<type> <ref>``; returns the value or registers a fixup."""
+        match = _VALUE_RE.match(text.strip())
+        if not match:
+            raise IrParseError(f"bad operand {text!r}")
+        ty = type_from_name(match.group("ty"))
+        ref = match.group("ref")
+        return self._resolve(ty, ref, instr, slot)
+
+    def _resolve(self, ty: Type, ref: str, instr: Instruction | None, slot: int):
+        if ref == "undef":
+            return UndefValue(ty)
+        if ref.startswith("@"):
+            gv = self.module.globals.get(ref[1:])
+            if gv is None:
+                raise IrParseError(f"unknown global {ref}")
+            return gv
+        if ref.startswith("%"):
+            name = ref[1:]
+            value = self.values.get(name)
+            if value is None:
+                if instr is None:
+                    raise IrParseError(f"unresolved value {ref}")
+                self.fixups.append((instr, slot, name))
+                return None
+            return value
+        # constant literal
+        if ty.is_float:
+            return Constant(ty, float(ref))
+        return Constant(ty, int(ref, 0))
+
+    def finalize(self) -> None:
+        for instr, slot, name in self.fixups:
+            value = self.values.get(name)
+            if value is None:
+                raise IrParseError(f"undefined value %{name}")
+            instr.operands[slot] = value
+        for instr, targets in self.target_fixups:
+            instr.targets = [self.block(t) for t in targets]
+        for phi, incoming in self.phi_fixups:
+            for ty_name, ref, block_name in incoming:
+                ty = type_from_name(ty_name)
+                value = self._resolve(ty, ref, None, -1)
+                phi.add_incoming(value, self.block(block_name))
+
+
+def _split_operands(text: str) -> list[str]:
+    """Split a comma-separated operand list (no nesting in this grammar)."""
+    return [p.strip() for p in text.split(",")] if text.strip() else []
+
+
+def parse_module(source: str) -> Module:
+    """Parse printer-format IR text into a fresh module."""
+    lines = [ln.rstrip() for ln in source.splitlines()]
+    module: Module | None = None
+    index = 0
+
+    # First pass: module header, globals and function signatures, so calls
+    # and global references resolve regardless of order.
+    pending_functions: list[tuple[int, str]] = []
+    for i, line in enumerate(lines):
+        text = line.strip()
+        if text.startswith("; module"):
+            module = Module(text[len("; module") :].strip())
+        elif text.startswith("@") and module is not None:
+            match = _GLOBAL_RE.match(text)
+            if not match:
+                raise IrParseError(f"bad global: {text}")
+            init = None
+            if match.group("init") is not None:
+                raw = match.group("init").strip()
+                init = (
+                    [eval(v) for v in raw.split(",")] if raw else []
+                )  # noqa: S307 - literals from our own printer
+            module.add_global(
+                match.group("name"),
+                type_from_name(match.group("ty")),
+                int(match.group("count")),
+                init,
+            )
+        elif text.startswith("declare ") and module is not None:
+            match = _DECLARE_RE.match(text)
+            if not match:
+                raise IrParseError(f"bad declare: {text}")
+            args = [
+                ("", type_from_name(a.strip()))
+                for a in match.group("args").split(",")
+                if a.strip()
+            ]
+            module.declare_function(
+                match.group("name"), type_from_name(match.group("ret")), args
+            )
+        elif text.startswith("define ") and module is not None:
+            match = _DEFINE_RE.match(text)
+            if not match:
+                raise IrParseError(f"bad define: {text}")
+            arg_specs = []
+            for piece in _split_operands(match.group("args")):
+                vm = _VALUE_RE.match(piece)
+                if not vm or not vm.group("ref").startswith("%"):
+                    raise IrParseError(f"bad argument spec {piece!r}")
+                arg_specs.append(
+                    (vm.group("ref")[1:], type_from_name(vm.group("ty")))
+                )
+            module.declare_function(
+                match.group("name"), type_from_name(match.group("ret")), arg_specs
+            )
+            pending_functions.append((i, match.group("name")))
+    if module is None:
+        raise IrParseError("missing '; module' header")
+
+    # Second pass: function bodies.
+    for start, fname in pending_functions:
+        func = module.function(fname)
+        parser = _FunctionBodyParser(module, func)
+        i = start + 1
+        current: BasicBlock | None = None
+        while i < len(lines):
+            text = lines[i].strip()
+            i += 1
+            if text == "}":
+                break
+            if not text:
+                continue
+            block_match = _BLOCK_RE.match(text)
+            if block_match and not text.startswith("%"):
+                current = parser.block(block_match.group("name"))
+                continue
+            if current is None:
+                raise IrParseError(f"instruction outside block: {text}")
+            _parse_instruction(text, module, parser, current)
+        parser.finalize()
+    return module
+
+
+def _parse_instruction(
+    text: str, module: Module, parser: _FunctionBodyParser, block: BasicBlock
+) -> None:
+    name = ""
+    rest = text
+    if text.startswith("%"):
+        name, _, rest = text.partition(" = ")
+        name = name[1:]
+        if not rest:
+            raise IrParseError(f"bad instruction: {text}")
+
+    op_word, _, tail = rest.partition(" ")
+
+    def register(instr: Instruction) -> Instruction:
+        block.append(instr)
+        if name:
+            instr.name = name
+            parser.values[name] = instr
+        return instr
+
+    # -- control flow ---------------------------------------------------------
+    if op_word == "br":
+        instr = Instruction(Opcode.BR, VOID, [])
+        parser.target_fixups.append((instr, [tail.strip()]))
+        register(instr)
+        return
+    if op_word == "condbr":
+        cond_text, t_true, t_false = _split_operands(tail)
+        instr = Instruction(Opcode.CONDBR, VOID, [None])
+        value = parser.parse_typed_value(cond_text, instr, 0)
+        if value is not None:
+            instr.operands[0] = value
+        parser.target_fixups.append((instr, [t_true, t_false]))
+        register(instr)
+        return
+    if op_word == "ret":
+        if tail.strip() == "void":
+            register(Instruction(Opcode.RET, VOID, []))
+            return
+        instr = Instruction(Opcode.RET, VOID, [None])
+        value = parser.parse_typed_value(tail, instr, 0)
+        if value is not None:
+            instr.operands[0] = value
+        register(instr)
+        return
+
+    # -- phi ---------------------------------------------------------------
+    if op_word == "phi":
+        ty_name, _, incoming_text = tail.partition(" ")
+        phi = PhiInstruction(type_from_name(ty_name), name)
+        incoming = []
+        for piece in re.findall(r"\[([^\]]*)\]", incoming_text):
+            val_text, _, blk = piece.rpartition(",")
+            vm = _VALUE_RE.match(val_text.strip())
+            if not vm:
+                raise IrParseError(f"bad phi incoming {piece!r}")
+            incoming.append((vm.group("ty"), vm.group("ref"), blk.strip()))
+        parser.phi_fixups.append((phi, incoming))
+        block.insert(len(block.phis()), phi)
+        parser.values[name] = phi
+        return
+
+    # -- calls ---------------------------------------------------------------
+    if op_word == "call":
+        match = re.match(r"^(?:(\w+) )?@([\w.]+)\((.*)\)$", tail)
+        if not match:
+            raise IrParseError(f"bad call: {text}")
+        ret_name, callee_name, args_text = match.groups()
+        ret_ty = type_from_name(ret_name) if ret_name else VOID
+        callee = module.functions.get(callee_name)
+        target = callee if callee is not None else callee_name
+        arg_texts = _split_operands(args_text)
+        instr = Instruction(
+            Opcode.CALL, ret_ty, [None] * len(arg_texts), callee=target
+        )
+        for slot, piece in enumerate(arg_texts):
+            value = parser.parse_typed_value(piece, instr, slot)
+            if value is not None:
+                instr.operands[slot] = value
+        register(instr)
+        return
+
+    if op_word == "custom":
+        match = re.match(r"^(\w+) #(\d+)\((.*)\)$", tail)
+        if not match:
+            raise IrParseError(f"bad custom: {text}")
+        result_ty = type_from_name(match.group(1))
+        custom_id = int(match.group(2))
+        arg_texts = _split_operands(match.group(3))
+        instr = Instruction(
+            Opcode.CUSTOM, result_ty, [None] * len(arg_texts), custom_id=custom_id
+        )
+        for slot, piece in enumerate(arg_texts):
+            value = parser.parse_typed_value(piece, instr, slot)
+            if value is not None:
+                instr.operands[slot] = value
+        register(instr)
+        return
+
+    # -- memory ------------------------------------------------------------
+    if op_word == "alloca":
+        match = re.match(r"^(\d+) x (\d+)$", tail)
+        if not match:
+            raise IrParseError(f"bad alloca: {text}")
+        from repro.ir.types import PTR
+
+        register(
+            Instruction(
+                Opcode.ALLOCA,
+                PTR,
+                [],
+                elem_size=int(match.group(1)),
+                alloc_count=int(match.group(2)),
+            )
+        )
+        return
+    if op_word == "load":
+        ty_name, _, ptr_text = tail.partition(",")
+        instr = Instruction(Opcode.LOAD, type_from_name(ty_name.strip()), [None])
+        value = parser.parse_typed_value(ptr_text, instr, 0)
+        if value is not None:
+            instr.operands[0] = value
+        register(instr)
+        return
+    if op_word == "store":
+        val_text, ptr_text = _split_operands(tail)
+        instr = Instruction(Opcode.STORE, VOID, [None, None])
+        for slot, piece in enumerate((val_text, ptr_text)):
+            value = parser.parse_typed_value(piece, instr, slot)
+            if value is not None:
+                instr.operands[slot] = value
+        register(instr)
+        return
+    if op_word == "gep":
+        pieces = _split_operands(tail)
+        if len(pieces) != 3 or not pieces[2].startswith("elem_size="):
+            raise IrParseError(f"bad gep: {text}")
+        from repro.ir.types import PTR
+
+        instr = Instruction(
+            Opcode.GEP,
+            PTR,
+            [None, None],
+            elem_size=int(pieces[2].split("=")[1]),
+        )
+        for slot, piece in enumerate(pieces[:2]):
+            value = parser.parse_typed_value(piece, instr, slot)
+            if value is not None:
+                instr.operands[slot] = value
+        register(instr)
+        return
+
+    # -- comparisons ---------------------------------------------------------
+    if op_word in ("icmp", "fcmp"):
+        pred_name, _, operands_text = tail.partition(" ")
+        pred = (
+            ICmpPred(pred_name) if op_word == "icmp" else FCmpPred(pred_name)
+        )
+        from repro.ir.types import I1
+
+        pieces = _split_operands(operands_text)
+        instr = Instruction(
+            Opcode(op_word), I1, [None] * len(pieces), pred=pred
+        )
+        for slot, piece in enumerate(pieces):
+            value = parser.parse_typed_value(piece, instr, slot)
+            if value is not None:
+                instr.operands[slot] = value
+        register(instr)
+        return
+
+    # -- casts (with " -> type" suffix) ----------------------------------------
+    opcode = Opcode(op_word)
+    if opcode in CAST_OPS:
+        operand_text, _, result_ty_name = tail.partition(" -> ")
+        instr = Instruction(
+            opcode, type_from_name(result_ty_name.strip()), [None]
+        )
+        value = parser.parse_typed_value(operand_text, instr, 0)
+        if value is not None:
+            instr.operands[0] = value
+        register(instr)
+        return
+
+    # -- generic (binops, select, fneg) ------------------------------------
+    pieces = _split_operands(tail)
+    instr = Instruction(opcode, VOID, [None] * len(pieces))
+    first_ty: Type | None = None
+    for slot, piece in enumerate(pieces):
+        vm = _VALUE_RE.match(piece)
+        if vm:
+            ty = type_from_name(vm.group("ty"))
+            if first_ty is None:
+                first_ty = ty
+            if opcode is Opcode.SELECT and slot > 0:
+                instr.type = ty
+        value = parser.parse_typed_value(piece, instr, slot)
+        if value is not None:
+            instr.operands[slot] = value
+    if opcode in BINARY_OPS or opcode is Opcode.FNEG:
+        instr.type = first_ty or VOID
+    elif opcode is Opcode.SELECT and instr.type is VOID:
+        raise IrParseError(f"cannot infer select type: {text}")
+    register(instr)

@@ -1,0 +1,127 @@
+"""IR type system.
+
+A deliberately small, LLVM-flavoured scalar type system: ``void``, integers
+of 1/8/16/32/64 bits, IEEE floats of 32/64 bits, and an opaque byte-addressed
+pointer type. Aggregates are handled by the frontend, which lowers arrays and
+structs to pointer arithmetic (as llvm-gcc does before the ISE algorithms see
+the code).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Type:
+    """A scalar IR type.
+
+    Attributes:
+        kind: one of ``void``, ``int``, ``float``, ``ptr``.
+        bits: bit width (0 for void; 64 for ptr).
+    """
+
+    kind: str
+    bits: int
+
+    @property
+    def is_void(self) -> bool:
+        return self.kind == "void"
+
+    @property
+    def is_int(self) -> bool:
+        return self.kind == "int"
+
+    @property
+    def is_float(self) -> bool:
+        return self.kind == "float"
+
+    @property
+    def is_ptr(self) -> bool:
+        return self.kind == "ptr"
+
+    @property
+    def is_bool(self) -> bool:
+        return self.kind == "int" and self.bits == 1
+
+    @property
+    def size_bytes(self) -> int:
+        """Storage size in bytes (pointers are 8 bytes, i1 stored as 1 byte)."""
+        if self.is_void:
+            raise ValueError("void has no storage size")
+        return max(1, self.bits // 8)
+
+    def __str__(self) -> str:
+        if self.is_void:
+            return "void"
+        if self.is_ptr:
+            return "ptr"
+        prefix = "i" if self.is_int else "f"
+        return f"{prefix}{self.bits}"
+
+
+VOID = Type("void", 0)
+I1 = Type("int", 1)
+I8 = Type("int", 8)
+I16 = Type("int", 16)
+I32 = Type("int", 32)
+I64 = Type("int", 64)
+F32 = Type("float", 32)
+F64 = Type("float", 64)
+PTR = Type("ptr", 64)
+
+_BY_NAME = {
+    "void": VOID,
+    "i1": I1,
+    "i8": I8,
+    "i16": I16,
+    "i32": I32,
+    "i64": I64,
+    "f32": F32,
+    "f64": F64,
+    "ptr": PTR,
+}
+
+
+def type_from_name(name: str) -> Type:
+    """Look up a type by its textual name (``i32``, ``f64``, ``ptr``, ...)."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise ValueError(f"unknown IR type: {name!r}") from None
+
+
+def int_min(ty: Type) -> int:
+    """Smallest representable signed value of an integer type."""
+    if not ty.is_int:
+        raise ValueError(f"not an integer type: {ty}")
+    return -(1 << (ty.bits - 1)) if ty.bits > 1 else 0
+
+
+def int_max_signed(ty: Type) -> int:
+    if not ty.is_int:
+        raise ValueError(f"not an integer type: {ty}")
+    return (1 << (ty.bits - 1)) - 1 if ty.bits > 1 else 1
+
+
+def wrap_int(value: int, ty: Type) -> int:
+    """Wrap a Python int to the two's-complement signed range of *ty*.
+
+    The interpreter and constant folder use this to reproduce fixed-width
+    integer semantics on top of Python's unbounded ints.
+    """
+    if not ty.is_int:
+        raise ValueError(f"not an integer type: {ty}")
+    bits = ty.bits
+    mask = (1 << bits) - 1
+    value &= mask
+    if bits > 1 and value >= (1 << (bits - 1)):
+        value -= 1 << bits
+    return value
+
+
+def to_unsigned(value: int, ty: Type) -> int:
+    """Reinterpret a (possibly negative) wrapped value as unsigned."""
+    if not ty.is_int:
+        raise ValueError(f"not an integer type: {ty}")
+    return value & ((1 << ty.bits) - 1)

@@ -1,0 +1,127 @@
+"""SSA values: the base class plus constants, arguments and globals.
+
+Instructions (defined in :mod:`repro.ir.instructions`) are also values; the
+classes here are the non-instruction leaves of the operand graph.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.ir.types import Type, wrap_int
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ir.function import Function
+
+
+class Value:
+    """Base class of everything that can appear as an instruction operand."""
+
+    __slots__ = ("type", "name")
+
+    def __init__(self, ty: Type, name: str = "") -> None:
+        self.type = ty
+        self.name = name
+
+    def ref(self) -> str:
+        """Short textual reference used by the printer (e.g. ``%x``)."""
+        return f"%{self.name}" if self.name else "%?"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.ref()}: {self.type}>"
+
+
+class Constant(Value):
+    """A typed immediate constant.
+
+    Integer constants are stored wrapped to their type's signed range;
+    float constants as Python floats.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, ty: Type, value) -> None:
+        super().__init__(ty, "")
+        if ty.is_int:
+            value = wrap_int(int(value), ty)
+        elif ty.is_float:
+            value = float(value)
+        elif ty.is_ptr:
+            value = int(value)
+        else:
+            raise ValueError(f"cannot build constant of type {ty}")
+        self.value = value
+
+    def ref(self) -> str:
+        return f"{self.type} {self.value}"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Constant)
+            and self.type == other.type
+            and self.value == other.value
+            # Distinguish 0.0 from -0.0 and int 0 from float 0.0.
+            and type(self.value) is type(other.value)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.type, self.value))
+
+
+class UndefValue(Value):
+    """An undefined value of a given type (used for uninitialised reads)."""
+
+    __slots__ = ()
+
+    def ref(self) -> str:
+        return f"{self.type} undef"
+
+
+class Argument(Value):
+    """A formal function argument."""
+
+    __slots__ = ("function", "index")
+
+    def __init__(self, ty: Type, name: str, index: int) -> None:
+        super().__init__(ty, name)
+        self.function: "Function | None" = None
+        self.index = index
+
+
+class GlobalVariable(Value):
+    """A module-level variable backed by a region of VM memory.
+
+    Attributes:
+        elem_type: scalar element type of the underlying storage.
+        count: number of elements (1 for scalars).
+        initializer: optional flat list of initial element values.
+        address: assigned by the VM loader at module load time.
+    """
+
+    __slots__ = ("elem_type", "count", "initializer", "address")
+
+    def __init__(
+        self,
+        name: str,
+        elem_type: Type,
+        count: int = 1,
+        initializer: list | None = None,
+    ) -> None:
+        from repro.ir.types import PTR
+
+        super().__init__(PTR, name)
+        if count < 1:
+            raise ValueError("global variable must have at least one element")
+        if initializer is not None and len(initializer) > count:
+            raise ValueError("initializer longer than variable")
+        self.elem_type = elem_type
+        self.count = count
+        self.initializer = initializer
+        self.address: int | None = None
+
+    @property
+    def size_bytes(self) -> int:
+        return self.elem_type.size_bytes * self.count
+
+    def ref(self) -> str:
+        return f"@{self.name}"

@@ -1,0 +1,31 @@
+"""Instruction-set-extension algorithms (the Candidate Search phase).
+
+Implements the first phase of the paper's ASIP specialization process
+(Figure 2): pruning the search space to the most promising basic blocks
+(:mod:`repro.ise.pruning`, the @50pS3L filter family of [9]), identifying
+custom-instruction candidates in their dataflow graphs
+(:mod:`repro.ise.maxmiso` — the linear-complexity MAXMISO algorithm the
+paper uses — plus two comparison algorithms), and selecting the best
+candidates using PivPav performance estimates (:mod:`repro.ise.selection`).
+"""
+
+from repro.ise.candidate import Candidate
+from repro.ise.feasibility import FeasibilityAnalysis, is_feasible_instruction
+from repro.ise.maxmiso import MaxMisoIdentifier
+from repro.ise.singlecut import SingleCutIdentifier
+from repro.ise.unioniso import UnionMisoIdentifier
+from repro.ise.pruning import PruningFilter, parse_filter_spec
+from repro.ise.selection import CandidateSearch, CandidateSearchResult
+
+__all__ = [
+    "Candidate",
+    "FeasibilityAnalysis",
+    "is_feasible_instruction",
+    "MaxMisoIdentifier",
+    "SingleCutIdentifier",
+    "UnionMisoIdentifier",
+    "PruningFilter",
+    "parse_filter_spec",
+    "CandidateSearch",
+    "CandidateSearchResult",
+]

@@ -1,0 +1,55 @@
+"""Hardware feasibility of instructions inside custom-instruction candidates.
+
+A Woolcano custom instruction is a feed-forward datapath between the
+PowerPC's register-file read ports and write-back port. Anything that
+touches memory, control flow, or another function cannot be part of it:
+loads, stores, allocas, calls, branches, phis. This restriction is the
+paper's central structural limitation (Section V.D): basic blocks passed to
+identification contain "a sizable number of the hardware-infeasible
+instructions, such as accesses to global variables or memory", which keeps
+candidates small (~7 instructions) even in 150+-instruction blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.instructions import Instruction
+from repro.ir.opcodes import Opcode, is_hw_feasible
+
+
+def is_feasible_instruction(instr: Instruction) -> bool:
+    """Whether *instr* may appear inside a custom-instruction candidate."""
+    if not is_hw_feasible(instr.opcode):
+        return False
+    # Divisions are implementable but only as deeply pipelined cores; the
+    # datapath generator supports them, so they stay feasible. What is NOT
+    # feasible is anything whose result depends on VM state.
+    return True
+
+
+@dataclass
+class FeasibilityAnalysis:
+    """Feasibility partition of one basic block's instructions."""
+
+    block: BasicBlock
+    feasible: list[Instruction] = field(default_factory=list)
+    infeasible: list[Instruction] = field(default_factory=list)
+
+    @classmethod
+    def of_block(cls, block: BasicBlock) -> "FeasibilityAnalysis":
+        analysis = cls(block)
+        for instr in block.instructions:
+            if instr.is_terminator or instr.opcode is Opcode.PHI:
+                analysis.infeasible.append(instr)
+            elif is_feasible_instruction(instr):
+                analysis.feasible.append(instr)
+            else:
+                analysis.infeasible.append(instr)
+        return analysis
+
+    @property
+    def feasible_fraction(self) -> float:
+        total = len(self.block.instructions)
+        return len(self.feasible) / total if total else 0.0

@@ -1,0 +1,37 @@
+"""PivPav: circuit library, estimation and datapath generation.
+
+Reproduces the role of the authors' PivPav tool ([8]): a database of
+pre-synthesized hardware IP cores with 90+ metrics each
+(:mod:`repro.pivpav.database`), a software-vs-hardware performance estimator
+used during candidate selection (:mod:`repro.pivpav.estimator`), a datapath
+generator that emits structural VHDL for a candidate
+(:mod:`repro.pivpav.vhdlgen`), and a netlist store that lets the CAD flow
+skip re-synthesis of the IP cores (:mod:`repro.pivpav.netlistcache`).
+"""
+
+from repro.pivpav.metrics import CoreMetrics
+from repro.pivpav.corelib import CORE_SPECS, CoreSpec, core_name_for
+from repro.pivpav.database import CircuitDatabase, CoreRecord
+from repro.pivpav.estimator import CandidateEstimate, PivPavEstimator
+from repro.pivpav.vhdlgen import DatapathGenerator, GeneratedVhdl
+from repro.pivpav.netlist import Netlist, NetlistPrimitive
+from repro.pivpav.netlistcache import NetlistCache
+from repro.pivpav.vhdlsim import VhdlDatapathSimulator, VhdlSimError
+
+__all__ = [
+    "CoreMetrics",
+    "CORE_SPECS",
+    "CoreSpec",
+    "core_name_for",
+    "CircuitDatabase",
+    "CoreRecord",
+    "CandidateEstimate",
+    "PivPavEstimator",
+    "DatapathGenerator",
+    "GeneratedVhdl",
+    "Netlist",
+    "NetlistPrimitive",
+    "NetlistCache",
+    "VhdlDatapathSimulator",
+    "VhdlSimError",
+]

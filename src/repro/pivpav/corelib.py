@@ -1,0 +1,223 @@
+"""IP core specifications: one circuit family per (opcode, operand type).
+
+The base timing/area figures are representative Virtex-4 (90 nm, -10 speed
+grade) numbers: LUT-based integer adders ~2.5 ns for 32 bits, DSP48
+multipliers ~4.5 ns, floating-point cores in the 10-30 ns latency range.
+The essential *relationship* for the reproduction is that a hardware FP
+operation costs tens of nanoseconds while the FPU-less PowerPC-405 needs
+hundreds (soft-float), whereas integer ops are 1 cycle on the CPU already —
+this is what shapes which candidates are worth offloading.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.instructions import Instruction
+from repro.ir.opcodes import Opcode
+from repro.ir.types import Type
+
+
+@dataclass(frozen=True)
+class CoreSpec:
+    """Static specification of one IP core family."""
+
+    name: str
+    opcode: Opcode
+    type_class: str  # "i32" | "i64" | "f32" | "f64" | "i1"
+    latency_ns: float
+    luts: int
+    flipflops: int
+    dsp48: int = 0
+    bram: int = 0
+    pipeline_stages: int = 0
+
+
+def _spec(name, op, tc, lat, luts, ffs, dsp=0, bram=0, stages=0):
+    return CoreSpec(name, op, tc, lat, luts, ffs, dsp, bram, stages)
+
+
+# fmt: off
+_RAW_SPECS = [
+    # 32-bit integer
+    _spec("add_i32",  Opcode.ADD,  "i32", 2.5,  32,  0),
+    _spec("sub_i32",  Opcode.SUB,  "i32", 2.5,  32,  0),
+    _spec("mul_i32",  Opcode.MUL,  "i32", 4.6,  12,  0, dsp=3),
+    _spec("sdiv_i32", Opcode.SDIV, "i32", 28.0, 460, 380, stages=8),
+    _spec("udiv_i32", Opcode.UDIV, "i32", 26.0, 420, 360, stages=8),
+    _spec("srem_i32", Opcode.SREM, "i32", 28.0, 470, 380, stages=8),
+    _spec("urem_i32", Opcode.UREM, "i32", 26.0, 430, 360, stages=8),
+    _spec("and_i32",  Opcode.AND,  "i32", 0.9,  16,  0),
+    _spec("or_i32",   Opcode.OR,   "i32", 0.9,  16,  0),
+    _spec("xor_i32",  Opcode.XOR,  "i32", 0.9,  16,  0),
+    _spec("shl_i32",  Opcode.SHL,  "i32", 1.8,  96,  0),
+    _spec("lshr_i32", Opcode.LSHR, "i32", 1.8,  96,  0),
+    _spec("ashr_i32", Opcode.ASHR, "i32", 1.9,  98,  0),
+    _spec("icmp_i32", Opcode.ICMP, "i32", 1.6,  22,  0),
+    _spec("sel_i32",  Opcode.SELECT, "i32", 1.2, 32, 0),
+    # 64-bit integer (roughly 2x area, longer carry chains)
+    _spec("add_i64",  Opcode.ADD,  "i64", 3.8,  64,  0),
+    _spec("sub_i64",  Opcode.SUB,  "i64", 3.8,  64,  0),
+    _spec("mul_i64",  Opcode.MUL,  "i64", 7.9,  40,  0, dsp=12),
+    _spec("sdiv_i64", Opcode.SDIV, "i64", 52.0, 980, 800, stages=16),
+    _spec("udiv_i64", Opcode.UDIV, "i64", 48.0, 900, 760, stages=16),
+    _spec("srem_i64", Opcode.SREM, "i64", 52.0, 990, 800, stages=16),
+    _spec("urem_i64", Opcode.UREM, "i64", 48.0, 910, 760, stages=16),
+    _spec("and_i64",  Opcode.AND,  "i64", 1.0,  32,  0),
+    _spec("or_i64",   Opcode.OR,   "i64", 1.0,  32,  0),
+    _spec("xor_i64",  Opcode.XOR,  "i64", 1.0,  32,  0),
+    _spec("shl_i64",  Opcode.SHL,  "i64", 2.4, 210,  0),
+    _spec("lshr_i64", Opcode.LSHR, "i64", 2.4, 210,  0),
+    _spec("ashr_i64", Opcode.ASHR, "i64", 2.5, 214,  0),
+    _spec("icmp_i64", Opcode.ICMP, "i64", 2.1,  40,  0),
+    _spec("sel_i64",  Opcode.SELECT, "i64", 1.3, 64, 0),
+    # single-precision floating point
+    _spec("fadd_f32", Opcode.FADD, "f32", 11.0, 420, 320, stages=4),
+    _spec("fsub_f32", Opcode.FSUB, "f32", 11.0, 430, 320, stages=4),
+    _spec("fmul_f32", Opcode.FMUL, "f32", 9.5,  140, 180, dsp=4, stages=4),
+    _spec("fdiv_f32", Opcode.FDIV, "f32", 26.0, 760, 640, stages=12),
+    _spec("frem_f32", Opcode.FREM, "f32", 40.0, 1100, 860, stages=16),
+    _spec("fneg_f32", Opcode.FNEG, "f32", 0.6,  1,   0),
+    _spec("fcmp_f32", Opcode.FCMP, "f32", 3.5,  90,  0),
+    _spec("sel_f32",  Opcode.SELECT, "f32", 1.2, 32, 0),
+    # double-precision floating point
+    _spec("fadd_f64", Opcode.FADD, "f64", 14.5, 800, 640, stages=5),
+    _spec("fsub_f64", Opcode.FSUB, "f64", 14.5, 810, 640, stages=5),
+    _spec("fmul_f64", Opcode.FMUL, "f64", 13.0, 360, 420, dsp=9, stages=5),
+    _spec("fdiv_f64", Opcode.FDIV, "f64", 38.0, 1650, 1280, stages=20),
+    _spec("frem_f64", Opcode.FREM, "f64", 60.0, 2300, 1700, stages=24),
+    _spec("fneg_f64", Opcode.FNEG, "f64", 0.6,  1,   0),
+    _spec("fcmp_f64", Opcode.FCMP, "f64", 4.2,  170, 0),
+    _spec("sel_f64",  Opcode.SELECT, "f64", 1.4, 64, 0),
+    # casts / width changes
+    _spec("zext",     Opcode.ZEXT,   "i64", 0.4,  0,  0),
+    _spec("sext",     Opcode.SEXT,   "i64", 0.6,  2,  0),
+    _spec("trunc",    Opcode.TRUNC,  "i32", 0.3,  0,  0),
+    _spec("bitcast",  Opcode.BITCAST, "i64", 0.2, 0,  0),
+    _spec("fptosi_f32", Opcode.FPTOSI, "f32", 9.0, 300, 240, stages=4),
+    _spec("fptosi_f64", Opcode.FPTOSI, "f64", 11.0, 480, 380, stages=5),
+    _spec("sitofp_f32", Opcode.SITOFP, "f32", 9.0, 310, 240, stages=4),
+    _spec("sitofp_f64", Opcode.SITOFP, "f64", 11.0, 500, 380, stages=5),
+    _spec("fpext",    Opcode.FPEXT,   "f64", 2.8, 110, 0),
+    _spec("fptrunc",  Opcode.FPTRUNC, "f32", 3.6, 150, 0),
+    # address arithmetic (gep = shift-add)
+    _spec("gep_i64",  Opcode.GEP,   "i64", 3.0,  70,  0),
+    # small-width compare/select glue
+    _spec("icmp_i1",  Opcode.ICMP,  "i1",  0.5,  2,   0),
+    _spec("sel_i1",   Opcode.SELECT, "i1", 0.5,  2,   0),
+    _spec("and_i1",   Opcode.AND,   "i1",  0.3,  1,   0),
+    _spec("or_i1",    Opcode.OR,    "i1",  0.3,  1,   0),
+    _spec("xor_i1",   Opcode.XOR,   "i1",  0.3,  1,   0),
+]
+# fmt: on
+
+CORE_SPECS: dict[str, CoreSpec] = {s.name: s for s in _RAW_SPECS}
+
+# Comparison cores are predicate-specific: an `slt` comparator is different
+# hardware from an `eq` comparator, and the generated VHDL must preserve
+# which one a candidate uses (the datapath simulator verifies this).
+from repro.ir.opcodes import FCmpPred, ICmpPred  # noqa: E402
+
+
+def _derive(base_name: str, new_name: str) -> None:
+    base = CORE_SPECS[base_name]
+    CORE_SPECS[new_name] = CoreSpec(
+        new_name,
+        base.opcode,
+        base.type_class,
+        base.latency_ns,
+        base.luts,
+        base.flipflops,
+        base.dsp48,
+        base.bram,
+        base.pipeline_stages,
+    )
+
+
+for _pred in ICmpPred:
+    for _tc in ("i1", "i32", "i64"):
+        _base = f"icmp_{_tc}" if f"icmp_{_tc}" in CORE_SPECS else "icmp_i32"
+        _derive(_base, f"icmp_{_pred.value}_{_tc}")
+for _pred in FCmpPred:
+    for _tc in ("f32", "f64"):
+        _derive(f"fcmp_{_tc}", f"fcmp_{_pred.value}_{_tc}")
+
+# Width-change cores are (source, destination)-width specific: a 1->32 zero
+# extender is different hardware (and a different VHDL component interface)
+# from a 32->64 one.
+_INT_WIDTHS = (1, 8, 16, 32, 64)
+for _s in _INT_WIDTHS:
+    for _d in _INT_WIDTHS:
+        if _d > _s:
+            _derive("zext", f"zext_{_s}_{_d}")
+            _derive("sext", f"sext_{_s}_{_d}")
+        elif _d < _s:
+            _derive("trunc", f"trunc_{_s}_{_d}")
+for _bits in (8, 16, 32, 64):
+    _derive("bitcast", f"bitcast_{_bits}_{_bits}")
+for _ftc in ("f32", "f64"):
+    for _ibits in _INT_WIDTHS:
+        _derive(f"fptosi_{_ftc}", f"fptosi_{_ftc}_{_ibits}")
+        _derive(f"sitofp_{_ftc}", f"sitofp_{_ftc}_{_ibits}")
+# GEP index ports come in the integer widths the frontend produces.
+for _ibits in (8, 16, 32, 64):
+    _derive("gep_i64", f"gep_w{_ibits}")
+
+
+def _type_class(ty: Type) -> str:
+    if ty.is_ptr:
+        return "i64"
+    if ty.is_int:
+        if ty.bits == 1:
+            return "i1"
+        return "i64" if ty.bits > 32 else "i32"
+    return "f64" if ty.bits > 32 else "f32"
+
+
+_BY_KEY: dict[tuple[Opcode, str], CoreSpec] = {}
+for _s in _RAW_SPECS:
+    _BY_KEY.setdefault((_s.opcode, _s.type_class), _s)
+
+
+def core_name_for(instr: Instruction) -> str:
+    """Resolve the IP core implementing *instr*.
+
+    Raises ``KeyError`` for instructions with no hardware implementation
+    (memory, control flow) — callers must feasibility-filter first.
+    """
+    op = instr.opcode
+    # Type class from the result where meaningful, else the first operand.
+    if op in (Opcode.ICMP, Opcode.FCMP):
+        tc = _type_class(instr.operands[0].type)
+        name = f"{op.value}_{instr.pred.value}_{tc}"
+        if name in CORE_SPECS:
+            return name
+        raise KeyError(f"no core for {op} {instr.pred} {tc}")
+    if op in (Opcode.ZEXT, Opcode.SEXT, Opcode.TRUNC, Opcode.BITCAST):
+        src_bits = max(1, instr.operands[0].type.bits)
+        dst_bits = max(1, instr.type.bits)
+        name = f"{op.value}_{src_bits}_{dst_bits}"
+        if name not in CORE_SPECS:
+            raise KeyError(f"no IP core for {op} {src_bits}->{dst_bits}")
+        return name
+    if op in (Opcode.FPTOSI, Opcode.SITOFP):
+        src = instr.operands[0].type
+        dst = instr.type
+        fty = src if src.is_float else dst
+        ity = dst if src.is_float else src
+        tc = _type_class(fty)
+        return f"{op.value}_{tc}_{ity.bits}"
+    if op is Opcode.FPEXT:
+        return "fpext"
+    if op is Opcode.FPTRUNC:
+        return "fptrunc"
+    if op is Opcode.GEP:
+        return f"gep_w{instr.operands[1].type.bits}"
+    tc = _type_class(instr.type)
+    spec = _BY_KEY.get((op, tc))
+    if spec is None:
+        # Fall back to the wider integer variant for odd widths.
+        spec = _BY_KEY.get((op, "i32")) or _BY_KEY.get((op, "i64"))
+    if spec is None:
+        raise KeyError(f"no IP core for opcode {op} of type {instr.type}")
+    return spec.name

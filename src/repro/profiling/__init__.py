@@ -1,0 +1,20 @@
+"""Profile analyses: code coverage classification and kernel size.
+
+Implements Section IV-C of the paper: applications are executed with several
+input data sets, per-block execution frequencies are compared across runs,
+and each block is classified as *dead* (never executes), *const* (executes
+the same number of times for every input) or *live* (frequency varies with
+the input). The kernel is the smallest set of blocks covering >=90 % of
+execution time.
+"""
+
+from repro.profiling.coverage import BlockClass, CoverageAnalysis, classify_blocks
+from repro.profiling.kernel import KernelAnalysis, compute_kernel
+
+__all__ = [
+    "BlockClass",
+    "CoverageAnalysis",
+    "classify_blocks",
+    "KernelAnalysis",
+    "compute_kernel",
+]

@@ -1,0 +1,78 @@
+"""Live/dead/const code classification across multiple input data sets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.ir.module import Module
+from repro.vm.profiler import BlockKey, ExecutionProfile
+
+
+class BlockClass(str, Enum):
+    """Coverage class of a basic block (paper, Section IV-C)."""
+
+    DEAD = "dead"  # frequency == 0 in every run
+    CONST = "const"  # frequency > 0 and identical across runs
+    LIVE = "live"  # frequency differs between runs
+
+
+@dataclass
+class CoverageAnalysis:
+    """Coverage classification of a module against a set of profiles."""
+
+    classes: dict[BlockKey, BlockClass]
+    static_sizes: dict[BlockKey, int]
+
+    def blocks_of_class(self, cls: BlockClass) -> list[BlockKey]:
+        return [k for k, c in self.classes.items() if c is cls]
+
+    def _share(self, cls: BlockClass) -> float:
+        total = sum(self.static_sizes.values())
+        if total == 0:
+            return 0.0
+        size = sum(
+            self.static_sizes[k] for k, c in self.classes.items() if c is cls
+        )
+        return 100.0 * size / total
+
+    @property
+    def live_pct(self) -> float:
+        """Percent of static code (instructions) in live blocks."""
+        return self._share(BlockClass.LIVE)
+
+    @property
+    def dead_pct(self) -> float:
+        return self._share(BlockClass.DEAD)
+
+    @property
+    def const_pct(self) -> float:
+        return self._share(BlockClass.CONST)
+
+
+def classify_blocks(
+    module: Module, profiles: list[ExecutionProfile]
+) -> CoverageAnalysis:
+    """Classify every block of *module* against >=2 profiled runs.
+
+    Blocks never mentioned in any profile are dead. A block whose counts are
+    equal (and nonzero) in all runs is const; otherwise live. With a single
+    profile, every executed block is conservatively const.
+    """
+    if not profiles:
+        raise ValueError("need at least one profile")
+    static_sizes: dict[BlockKey, int] = {}
+    for func in module.defined_functions():
+        for block in func.blocks:
+            static_sizes[(func.name, block.name)] = len(block.instructions)
+
+    classes: dict[BlockKey, BlockClass] = {}
+    for key in static_sizes:
+        counts = [p.count_of(*key) for p in profiles]
+        if all(c == 0 for c in counts):
+            classes[key] = BlockClass.DEAD
+        elif len(set(counts)) == 1:
+            classes[key] = BlockClass.CONST
+        else:
+            classes[key] = BlockClass.LIVE
+    return CoverageAnalysis(classes=classes, static_sizes=static_sizes)

@@ -1,0 +1,80 @@
+"""Kernel analysis: the code responsible for >=90 % of execution time.
+
+Paper, Section IV-C: "we sort the basic blocks by their total execution
+time. Then we select as many basic blocks as required (in the order of
+execution time) until the threshold of 90 % is reached. The size of the
+kernel is measured as the total number of instructions contained in these
+basic blocks."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.module import Module
+from repro.vm.costmodel import CostModel, PPC405_COST_MODEL
+from repro.vm.profiler import BlockKey, ExecutionProfile, static_block_costs
+
+
+@dataclass
+class KernelAnalysis:
+    """The kernel of an application under a given profile."""
+
+    blocks: list[BlockKey]  # kernel blocks, hottest first
+    kernel_instructions: int  # static instructions in kernel blocks
+    total_instructions: int  # static instructions in the whole module
+    time_share: float  # fraction of execution time covered (>= threshold)
+
+    @property
+    def size_pct(self) -> float:
+        """Kernel size as percent of total static code ("size" in Table I)."""
+        if self.total_instructions == 0:
+            return 0.0
+        return 100.0 * self.kernel_instructions / self.total_instructions
+
+    @property
+    def freq_pct(self) -> float:
+        """Time share actually covered ("freq" in Table I)."""
+        return 100.0 * self.time_share
+
+
+def compute_kernel(
+    module: Module,
+    profile: ExecutionProfile,
+    threshold: float = 0.90,
+    cost_model: CostModel = PPC405_COST_MODEL,
+) -> KernelAnalysis:
+    """Smallest hottest-first block set covering *threshold* of exec time."""
+    if not 0.0 < threshold <= 1.0:
+        raise ValueError("threshold must be in (0, 1]")
+    costs = static_block_costs(module, cost_model)
+    times: dict[BlockKey, float] = {}
+    for key, prof in profile.blocks.items():
+        if prof.count and key in costs:
+            times[key] = prof.count * costs[key]
+    total_time = sum(times.values())
+
+    static_sizes: dict[BlockKey, int] = {}
+    for func in module.defined_functions():
+        for block in func.blocks:
+            static_sizes[(func.name, block.name)] = len(block.instructions)
+    total_instructions = sum(static_sizes.values())
+
+    if total_time <= 0:
+        return KernelAnalysis([], 0, total_instructions, 0.0)
+
+    ordered = sorted(times.items(), key=lambda item: (-item[1], item[0]))
+    kernel: list[BlockKey] = []
+    covered = 0.0
+    for key, t in ordered:
+        kernel.append(key)
+        covered += t
+        if covered / total_time >= threshold:
+            break
+    kernel_instructions = sum(static_sizes.get(k, 0) for k in kernel)
+    return KernelAnalysis(
+        blocks=kernel,
+        kernel_instructions=kernel_instructions,
+        total_instructions=total_instructions,
+        time_share=covered / total_time,
+    )

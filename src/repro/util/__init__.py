@@ -1,0 +1,22 @@
+"""Shared utilities: deterministic RNG, time formatting, ASCII tables."""
+
+from repro.util.rng import DeterministicRng, stable_hash
+from repro.util.timefmt import (
+    format_dhms,
+    format_hms,
+    format_ms,
+    format_seconds,
+    parse_hms,
+)
+from repro.util.tables import Table
+
+__all__ = [
+    "DeterministicRng",
+    "stable_hash",
+    "format_dhms",
+    "format_hms",
+    "format_ms",
+    "format_seconds",
+    "parse_hms",
+    "Table",
+]

@@ -1,0 +1,72 @@
+"""Minimal ASCII table renderer for experiment output.
+
+The experiment drivers (`repro.experiments`) print tables whose rows and
+columns mirror the paper's Tables I-IV. This renderer right-aligns numeric
+columns and supports a footer section for the AVG/RATIO rows the paper uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+
+@dataclass
+class Table:
+    """An ASCII table with named columns and optional footer rows."""
+
+    columns: Sequence[str]
+    rows: list[list[str]] = field(default_factory=list)
+    footer: list[list[str]] = field(default_factory=list)
+    title: str = ""
+
+    def add_row(self, values: Iterable[object]) -> None:
+        row = [str(v) for v in values]
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(row)
+
+    def add_footer(self, values: Iterable[object]) -> None:
+        row = [str(v) for v in values]
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"footer row has {len(row)} cells, table has {len(self.columns)} columns"
+            )
+        self.footer.append(row)
+
+    def _widths(self) -> list[int]:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows + self.footer:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        return widths
+
+    def render(self) -> str:
+        widths = self._widths()
+
+        def fmt(row: Sequence[str]) -> str:
+            cells = []
+            for i, cell in enumerate(row):
+                if i == 0:
+                    cells.append(cell.ljust(widths[i]))
+                else:
+                    cells.append(cell.rjust(widths[i]))
+            return "  ".join(cells)
+
+        sep = "-" * (sum(widths) + 2 * (len(widths) - 1))
+        lines: list[str] = []
+        if self.title:
+            lines.append(self.title)
+            lines.append("=" * len(self.title))
+        lines.append(fmt(list(self.columns)))
+        lines.append(sep)
+        lines.extend(fmt(r) for r in self.rows)
+        if self.footer:
+            lines.append(sep)
+            lines.extend(fmt(r) for r in self.footer)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

@@ -1,0 +1,63 @@
+"""Time formatting helpers matching the paper's table conventions.
+
+Table II of the paper reports runtimes in three formats: milliseconds
+(candidate search), ``m:s`` (tool-flow overheads) and ``d:h:m:s`` (break-even
+times). These helpers render virtual-seconds values in the same formats so
+that regenerated tables are directly comparable with the paper.
+"""
+
+from __future__ import annotations
+
+
+def format_ms(seconds: float) -> str:
+    """Render a duration as milliseconds with two decimals, e.g. ``1.44``."""
+    return f"{seconds * 1000.0:.2f}"
+
+
+def format_seconds(seconds: float) -> str:
+    """Render a duration as seconds with two decimals, e.g. ``151.00``."""
+    return f"{seconds:.2f}"
+
+
+def format_hms(seconds: float) -> str:
+    """Render as ``m:ss`` (minutes may exceed 59, as in the paper)."""
+    import math
+
+    if not math.isfinite(seconds):
+        return "inf"
+    total = int(round(seconds))
+    minutes, secs = divmod(total, 60)
+    return f"{minutes}:{secs:02d}"
+
+
+def format_dhms(seconds: float) -> str:
+    """Render as ``d:hh:mm:ss`` as used for break-even times."""
+    import math
+
+    if not math.isfinite(seconds):
+        return "inf"
+    total = int(round(seconds))
+    days, rem = divmod(total, 86400)
+    hours, rem = divmod(rem, 3600)
+    minutes, secs = divmod(rem, 60)
+    return f"{days}:{hours:02d}:{minutes:02d}:{secs:02d}"
+
+
+def format_hhmmss(seconds: float) -> str:
+    """Render as ``hh:mm:ss`` as used in Table IV."""
+    total = int(round(seconds))
+    hours, rem = divmod(total, 3600)
+    minutes, secs = divmod(rem, 60)
+    return f"{hours:02d}:{minutes:02d}:{secs:02d}"
+
+
+def parse_hms(text: str) -> float:
+    """Parse ``m:ss`` / ``h:mm:ss`` / ``d:hh:mm:ss`` into seconds.
+
+    Used by tests to compare against the paper's published table cells.
+    """
+    parts = [int(p) for p in text.strip().split(":")]
+    if not 1 <= len(parts) <= 4:
+        raise ValueError(f"unparseable duration: {text!r}")
+    weights = [1, 60, 3600, 86400]
+    return float(sum(p * w for p, w in zip(reversed(parts), weights)))

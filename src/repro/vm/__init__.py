@@ -1,0 +1,33 @@
+"""Virtual machine: profiling interpreter + execution-time models.
+
+This package plays the role of the LLVM JIT VM in the paper's Figure 1.
+It interprets IR modules (:class:`~repro.vm.interpreter.Interpreter`),
+collects basic-block execution profiles
+(:class:`~repro.vm.profiler.ExecutionProfile`), and converts instruction
+counts into *virtual seconds* using a PowerPC-405 cycle cost model
+(:mod:`repro.vm.costmodel`), including the VM's own just-in-time
+translation overhead (:mod:`repro.vm.jitruntime`).
+
+The reported "VM" and "Native" runtimes of Table I both come from these
+models; the difference is the JIT translation overhead and the VM's
+hot-block re-optimization.
+"""
+
+from repro.vm.costmodel import CostModel, PPC405_COST_MODEL
+from repro.vm.interpreter import ExecutionResult, Interpreter, VMError
+from repro.vm.profiler import BlockProfile, ExecutionProfile
+from repro.vm.jitruntime import JitRuntimeModel, RuntimeEstimate
+from repro.vm.memory import Memory
+
+__all__ = [
+    "CostModel",
+    "PPC405_COST_MODEL",
+    "ExecutionResult",
+    "Interpreter",
+    "VMError",
+    "BlockProfile",
+    "ExecutionProfile",
+    "JitRuntimeModel",
+    "RuntimeEstimate",
+    "Memory",
+]

@@ -1,0 +1,127 @@
+"""VM intrinsic functions callable from IR.
+
+Intrinsics model the C library calls that remain external in the paper's
+bitcode: math routines, minimal I/O, heap allocation and a PRNG. The ISE
+feasibility analysis treats intrinsic calls like any other call: they cannot
+be absorbed into custom instructions.
+
+Each intrinsic has a typed signature (checked by the IR builder) and a CPU
+cycle cost (used by the cost model; math routines are expensive on the
+FPU-less PowerPC-405).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.ir.types import F64, I32, I64, PTR, Type, VOID, wrap_int
+
+
+@dataclass(frozen=True)
+class Intrinsic:
+    """An intrinsic: signature, evaluator and CPU cost in cycles."""
+
+    name: str
+    return_type: Type
+    param_types: tuple[Type, ...]
+    cycles: int
+    # fn(vm_state, *args) -> value
+    fn: Callable
+
+
+def _clamped_exp(x: float) -> float:
+    if x > 700.0:
+        return math.inf
+    return math.exp(x)
+
+
+def _safe_log(x: float) -> float:
+    if x <= 0.0:
+        return -math.inf if x == 0.0 else math.nan
+    return math.log(x)
+
+
+def _safe_sqrt(x: float) -> float:
+    return math.sqrt(x) if x >= 0.0 else math.nan
+
+def _safe_pow(x: float, y: float) -> float:
+    try:
+        r = math.pow(x, y)
+    except (OverflowError, ValueError):
+        return math.nan if x < 0 else math.inf
+    return r
+
+
+INTRINSICS: dict[str, Intrinsic] = {}
+
+
+def _register(name, ret, params, cycles, fn):
+    INTRINSICS[name] = Intrinsic(name, ret, tuple(params), cycles, fn)
+
+
+# Math (soft-float library calls on a PowerPC-405; costs are rough
+# emulation-library cycle counts).
+_register("sin", F64, [F64], 160, lambda vm, x: math.sin(x))
+_register("cos", F64, [F64], 160, lambda vm, x: math.cos(x))
+_register("tan", F64, [F64], 180, lambda vm, x: math.tan(x))
+_register("atan", F64, [F64], 175, lambda vm, x: math.atan(x))
+_register("exp", F64, [F64], 170, lambda vm, x: _clamped_exp(x))
+_register("log", F64, [F64], 170, lambda vm, x: _safe_log(x))
+_register("sqrt", F64, [F64], 70, lambda vm, x: _safe_sqrt(x))
+_register("pow", F64, [F64, F64], 210, lambda vm, x, y: _safe_pow(x, y))
+_register("fabs", F64, [F64], 6, lambda vm, x: abs(x))
+_register("floor", F64, [F64], 15, lambda vm, x: float(math.floor(x)))
+_register("ceil", F64, [F64], 15, lambda vm, x: float(math.ceil(x)))
+_register("fmin", F64, [F64, F64], 8, lambda vm, x, y: min(x, y))
+_register("fmax", F64, [F64, F64], 8, lambda vm, x, y: max(x, y))
+
+# Integer helpers
+_register("abs", I32, [I32], 3, lambda vm, x: wrap_int(abs(x), I32))
+_register("min", I32, [I32, I32], 3, lambda vm, x, y: min(x, y))
+_register("max", I32, [I32, I32], 3, lambda vm, x, y: max(x, y))
+
+# Heap allocation (bump allocator in the VM memory).
+_register("malloc", PTR, [I64], 120, lambda vm, size: vm.memory.malloc(int(size)))
+_register("free", VOID, [PTR], 60, lambda vm, ptr: None)
+
+# Deterministic PRNG: linear congruential, state in the VM so programs are
+# reproducible regardless of host RNG.
+def _rand(vm) -> int:
+    vm.rand_state = (vm.rand_state * 1103515245 + 12345) & 0x7FFFFFFF
+    return wrap_int(vm.rand_state, I32)
+
+
+_register("rand", I32, [], 40, _rand)
+_register("srand", VOID, [I32], 6, lambda vm, seed: setattr(vm, "rand_state", seed & 0x7FFFFFFF))
+
+# Minimal output: values are recorded on the VM's output channel (tests use
+# this to check program behaviour); cost models a buffered putc-level call.
+_register("print_i32", VOID, [I32], 250, lambda vm, x: vm.output.append(int(x)))
+_register("print_i64", VOID, [I64], 280, lambda vm, x: vm.output.append(int(x)))
+_register("print_f64", VOID, [F64], 320, lambda vm, x: vm.output.append(float(x)))
+
+# Wall-clock substitute: returns the VM's virtual cycle counter (i32,
+# truncated), so benchmark self-timing inside apps is deterministic.
+_register("clock", I64, [], 30, lambda vm: wrap_int(vm.cycles_executed, I64))
+
+# Input-data interface: benchmark applications read their problem size and
+# data seed from the VM environment (models argv/input files), so the same
+# compiled module can be profiled under several data sets — required by the
+# live/dead/const coverage methodology of Section IV-C.
+_register("dataset_size", I32, [], 30, lambda vm: wrap_int(vm.dataset_size, I32))
+_register("dataset_seed", I32, [], 30, lambda vm: wrap_int(vm.dataset_seed, I32))
+
+
+def intrinsic_signature(name: str) -> tuple[Type, list[Type]]:
+    """Return (return_type, param_types) for a named intrinsic."""
+    try:
+        intr = INTRINSICS[name]
+    except KeyError:
+        raise KeyError(f"unknown intrinsic {name!r}") from None
+    return intr.return_type, list(intr.param_types)
+
+
+def is_intrinsic(name: str) -> bool:
+    return name in INTRINSICS

@@ -1,0 +1,96 @@
+"""Virtual-machine runtime model: VM vs. native execution time.
+
+Table I of the paper compares each application's runtime on the LLVM VM
+(just-in-time translation) against a statically compiled native binary. The
+observed pattern: embedded applications pay ~1 % VM overhead, scientific
+ones ~14 % on average, and a couple of applications (179.art, 473.astar) run
+*faster* under the VM because runtime optimization beats static code.
+
+We model both runtimes from the same block profile:
+
+- **native**: every block executes at static code quality (factor 1.0);
+- **VM**: each function pays a translation cost on first call
+  (``translation_cycles_per_instr`` × static size), each block executes at
+  ``baseline_quality`` (>1) until it has run ``hot_threshold`` times, after
+  which the JIT's profile-guided re-optimization brings it to
+  ``optimized_quality`` (slightly <1: the VM can exploit runtime knowledge).
+
+The embedded/scientific contrast is then *emergent*: compact hot kernels
+amortize translation immediately and spend virtually all time in re-optimized
+code, while large flat programs keep paying translation and baseline-quality
+execution across their warm code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.module import Module
+from repro.vm.costmodel import CostModel, PPC405_COST_MODEL
+from repro.vm.profiler import ExecutionProfile, static_block_costs
+
+
+@dataclass(frozen=True)
+class RuntimeEstimate:
+    """VM and native runtimes (virtual seconds) for one profiled run."""
+
+    native_seconds: float
+    vm_seconds: float
+
+    @property
+    def ratio(self) -> float:
+        """VM/native ratio as reported in Table I ("Ratio" column)."""
+        if self.native_seconds <= 0:
+            return 1.0
+        return self.vm_seconds / self.native_seconds
+
+
+@dataclass(frozen=True)
+class JitRuntimeModel:
+    """Parameters of the VM execution-time model."""
+
+    cost_model: CostModel = PPC405_COST_MODEL
+    translation_cycles_per_instr: float = 800.0
+    baseline_quality: float = 1.25
+    optimized_quality: float = 0.95
+    hot_threshold: int = 256
+    # Static binaries still pay OS load time; the VM additionally parses
+    # bitcode. Small constants so tiny programs are not dominated by them.
+    native_startup_seconds: float = 0.002
+    vm_startup_seconds: float = 0.003
+
+    def estimate(self, module: Module, profile: ExecutionProfile) -> RuntimeEstimate:
+        costs = static_block_costs(module, self.cost_model)
+
+        native_cycles = 0.0
+        vm_exec_cycles = 0.0
+        for key, prof in profile.blocks.items():
+            cost = costs.get(key)
+            if cost is None or prof.count == 0:
+                continue
+            native_cycles += prof.count * cost
+            cold = min(prof.count, self.hot_threshold)
+            hot = prof.count - cold
+            vm_exec_cycles += cost * (
+                cold * self.baseline_quality + hot * self.optimized_quality
+            )
+
+        # Translation: every function that actually ran is translated once.
+        executed_functions = {key[0] for key, p in profile.blocks.items() if p.count}
+        translation_cycles = 0.0
+        for func in module.defined_functions():
+            if func.name in executed_functions:
+                translation_cycles += (
+                    func.instruction_count * self.translation_cycles_per_instr
+                )
+
+        cm = self.cost_model
+        native = self.native_startup_seconds + cm.seconds(native_cycles)
+        vm = self.vm_startup_seconds + cm.seconds(vm_exec_cycles + translation_cycles)
+        return RuntimeEstimate(native_seconds=native, vm_seconds=vm)
+
+    def native_seconds(self, module: Module, profile: ExecutionProfile) -> float:
+        return self.estimate(module, profile).native_seconds
+
+    def vm_seconds(self, module: Module, profile: ExecutionProfile) -> float:
+        return self.estimate(module, profile).vm_seconds

@@ -1,0 +1,147 @@
+"""Flat byte-addressable VM memory.
+
+Globals are laid out at load time; each call frame gets a bump-allocated
+stack region for allocas; ``malloc`` draws from a heap region. Scalar
+loads/stores go through numpy structured views for correct fixed-width
+semantics.
+
+Layout (addresses are plain ints; address 0 is reserved as NULL):
+
+    [0 .. globals_end)     globals
+    [globals_end .. heap)  stack (grows upward, per-frame bump regions)
+    [heap .. size)         heap (bump allocator, no free-list)
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.ir.types import Type, wrap_int
+from repro.ir.values import GlobalVariable
+
+
+class MemoryError_(Exception):
+    """VM memory fault (out-of-range access, overflow)."""
+
+
+_STRUCT_FMT = {
+    ("int", 1): "b",
+    ("int", 8): "b",
+    ("int", 16): "h",
+    ("int", 32): "i",
+    ("int", 64): "q",
+    ("float", 32): "f",
+    ("float", 64): "d",
+    ("ptr", 64): "q",
+}
+
+
+class Memory:
+    """Flat memory with stack and heap bump allocators."""
+
+    def __init__(self, size: int = 1 << 22, stack_size: int = 1 << 20) -> None:
+        self.size = size
+        self.data = bytearray(size)
+        self._globals_end = 8  # keep NULL + a small red zone
+        self._stack_base = 0
+        self._stack_ptr = 0
+        self._heap_base = 0
+        self._heap_ptr = 0
+        self._stack_size = stack_size
+        self._finalized = False
+
+    # -- layout ------------------------------------------------------------
+    def place_globals(self, globals_: list[GlobalVariable]) -> None:
+        """Assign addresses to globals and write initializers."""
+        if self._finalized:
+            raise MemoryError_("globals already placed")
+        addr = self._globals_end
+        for gv in globals_:
+            # 8-byte align every global.
+            addr = (addr + 7) & ~7
+            gv.address = addr
+            if gv.initializer is not None:
+                self._write_initializer(gv, addr)
+            addr += gv.size_bytes
+        self._globals_end = addr
+        self._stack_base = (addr + 15) & ~15
+        self._stack_ptr = self._stack_base
+        self._heap_base = self._stack_base + self._stack_size
+        self._heap_ptr = self._heap_base
+        if self._heap_base >= self.size:
+            raise MemoryError_("memory too small for globals + stack")
+        self._finalized = True
+
+    def _write_initializer(self, gv: GlobalVariable, addr: int) -> None:
+        elem = gv.elem_type
+        for i, value in enumerate(gv.initializer or []):
+            self.store(addr + i * elem.size_bytes, elem, value)
+
+    # -- allocation --------------------------------------------------------
+    def push_frame(self) -> int:
+        """Mark the current stack position; returns a token for pop_frame."""
+        return self._stack_ptr
+
+    def pop_frame(self, token: int) -> None:
+        self._stack_ptr = token
+
+    def alloca(self, size_bytes: int) -> int:
+        addr = (self._stack_ptr + 7) & ~7
+        new_ptr = addr + size_bytes
+        if new_ptr > self._stack_base + self._stack_size:
+            raise MemoryError_("VM stack overflow")
+        self._stack_ptr = new_ptr
+        return addr
+
+    def malloc(self, size_bytes: int) -> int:
+        if size_bytes < 0:
+            raise MemoryError_("negative malloc")
+        addr = (self._heap_ptr + 7) & ~7
+        new_ptr = addr + size_bytes
+        if new_ptr > self.size:
+            raise MemoryError_(
+                f"VM heap exhausted (requested {size_bytes} bytes)"
+            )
+        self._heap_ptr = new_ptr
+        return addr
+
+    # -- access ------------------------------------------------------------
+    def _check(self, addr: int, nbytes: int) -> None:
+        if addr < 8 or addr + nbytes > self.size:
+            raise MemoryError_(f"access at {addr} ({nbytes} bytes) out of range")
+
+    def load(self, addr: int, ty: Type):
+        fmt = _STRUCT_FMT[(ty.kind, ty.bits)]
+        nbytes = struct.calcsize(fmt)
+        self._check(addr, nbytes)
+        (value,) = struct.unpack_from("<" + fmt, self.data, addr)
+        if ty.is_int:
+            return wrap_int(value, ty)
+        if ty.is_float:
+            return float(value)
+        return int(value)
+
+    def store(self, addr: int, ty: Type, value) -> None:
+        fmt = _STRUCT_FMT[(ty.kind, ty.bits)]
+        nbytes = struct.calcsize(fmt)
+        self._check(addr, nbytes)
+        if ty.is_int:
+            value = wrap_int(int(value), ty)
+        elif ty.is_float:
+            value = float(value)
+            if ty.bits == 32:
+                # round-trip through f32 to keep stored precision honest
+                value = struct.unpack("f", struct.pack("f", value))[0]
+        else:
+            value = int(value)
+        struct.pack_into("<" + fmt, self.data, addr, value)
+
+    # -- bulk helpers (used by dataset loaders) -----------------------------
+    def write_array(self, addr: int, ty: Type, values) -> None:
+        for i, v in enumerate(values):
+            self.store(addr + i * ty.size_bytes, ty, v)
+
+    def read_array(self, addr: int, ty: Type, count: int) -> list:
+        return [self.load(addr + i * ty.size_bytes, ty) for i in range(count)]

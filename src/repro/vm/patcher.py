@@ -1,0 +1,204 @@
+"""Binary patcher: rewrite bitcode to use custom instructions.
+
+The adaptation phase of the paper's Figure 1: once a candidate's bitstream
+is loaded, "the application binary is modified such that the newly
+available custom instructions are used".
+
+For each (single-output) candidate, the patcher:
+
+1. assigns a ``custom_id``;
+2. builds an *evaluator* — a closure that computes the candidate's DFG from
+   its input values (this is the functional model of the fabric datapath,
+   reusing the constant-folding evaluators so semantics match the CPU
+   exactly);
+3. replaces the candidate's instructions in the block with a single
+   ``CUSTOM`` instruction whose operands are the candidate's external
+   inputs, and redirects all uses of the candidate's output to it.
+
+Patched modules still verify and interpret; tests assert output equality
+between original and patched programs — the end-to-end correctness argument
+for the whole ASIP specialization process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.instructions import Instruction
+from repro.ir.module import Module
+from repro.ir.opcodes import BINARY_OPS, CAST_OPS, Opcode
+from repro.ir.passes.constfold import (
+    ConstantFoldError,
+    fold_binary,
+    fold_cast,
+    fold_fcmp,
+    fold_icmp,
+)
+from repro.ir.values import Constant, Value
+from repro.ise.candidate import Candidate
+
+
+class PatchError(Exception):
+    """Raised when a candidate cannot be patched."""
+
+
+@dataclass
+class PatchedInstruction:
+    """Record of one applied patch."""
+
+    custom_id: int
+    candidate: Candidate
+    evaluator: object  # callable(list) -> value
+
+
+@dataclass
+class BinaryPatcher:
+    """Applies candidates to a module as CUSTOM instructions."""
+
+    next_custom_id: int = 0
+    patches: list[PatchedInstruction] = field(default_factory=list)
+
+    def patch_module(
+        self, module: Module, candidates: list[Candidate]
+    ) -> list[PatchedInstruction]:
+        """Patch all *candidates* into *module*; returns the patch records."""
+        applied = []
+        for cand in candidates:
+            applied.append(self.patch_candidate(module, cand))
+        return applied
+
+    def patch_candidate(self, module: Module, candidate: Candidate) -> PatchedInstruction:
+        outputs = candidate.outputs
+        if len(outputs) != 1:
+            raise PatchError(
+                f"patcher supports single-output candidates; got "
+                f"{len(outputs)} outputs (multi-output candidates need "
+                f"result-register sequencing)"
+            )
+        output = outputs[0]
+        func = module.function(candidate.function)
+        block = func.block_named(candidate.block)
+
+        node_ids = {id(n) for n in candidate.nodes}
+        for instr in candidate.nodes:
+            if instr.parent is not block:
+                raise PatchError(
+                    f"candidate node {instr.name} not in block "
+                    f"{candidate.block} (module already modified?)"
+                )
+
+        inputs = candidate.inputs
+        custom_id = self.next_custom_id
+        self.next_custom_id += 1
+        evaluator = build_evaluator(candidate)
+
+        custom = Instruction(
+            Opcode.CUSTOM,
+            output.type,
+            list(inputs),
+            name=func.fresh_name(f"ci{custom_id}_"),
+            custom_id=custom_id,
+        )
+
+        # Insert at the output node's position, then remove covered nodes.
+        position = block.instructions.index(output)
+        block.insert(position, custom)
+        for instr in list(block.instructions):
+            if id(instr) in node_ids:
+                block.remove(instr)
+
+        # Redirect all uses of the output (convexity + single-output
+        # guarantee no other candidate value is referenced externally).
+        for blk in func.blocks:
+            for instr in blk.instructions:
+                instr.replace_operand(output, custom)
+
+        record = PatchedInstruction(
+            custom_id=custom_id, candidate=candidate, evaluator=evaluator
+        )
+        self.patches.append(record)
+        return record
+
+    def install(self, interpreter) -> None:
+        """Register all patch evaluators with an interpreter."""
+        for patch in self.patches:
+            interpreter.custom_evaluators[patch.custom_id] = patch.evaluator
+
+
+def build_evaluator(candidate: Candidate):
+    """Build the functional model of a candidate datapath.
+
+    Returns ``fn(input_values: list) -> output_value``. Input order matches
+    ``candidate.inputs``; evaluation follows the DFG's topological order
+    using the same scalar evaluators as the interpreter and the constant
+    folder, so hardware and software semantics agree bit-for-bit.
+    """
+    nodes = candidate.dfg.topological_order(set(candidate.nodes))
+    outputs = candidate.outputs
+    if len(outputs) != 1:
+        raise PatchError("evaluator requires a single-output candidate")
+    output = outputs[0]
+    inputs = candidate.inputs
+    input_pos = {id(v): i for i, v in enumerate(inputs)}
+    node_ids = {id(n) for n in nodes}
+
+    def evaluate(args: list):
+        if len(args) != len(inputs):
+            raise PatchError(
+                f"custom instruction expects {len(inputs)} operands, "
+                f"got {len(args)}"
+            )
+        env: dict[int, object] = {}
+
+        def value_of(operand: Value):
+            if isinstance(operand, Constant):
+                return operand.value
+            if id(operand) in env:
+                return env[id(operand)]
+            return args[input_pos[id(operand)]]
+
+        result = None
+        for node in nodes:
+            op = node.opcode
+            if op in BINARY_OPS:
+                try:
+                    out = fold_binary(
+                        op, node.type, value_of(node.operands[0]), value_of(node.operands[1])
+                    )
+                except ConstantFoldError as exc:
+                    raise PatchError(f"datapath trap: {exc}") from None
+            elif op is Opcode.ICMP:
+                out = fold_icmp(
+                    node.pred,
+                    node.operands[0].type,
+                    value_of(node.operands[0]),
+                    value_of(node.operands[1]),
+                )
+            elif op is Opcode.FCMP:
+                out = fold_fcmp(
+                    node.pred, value_of(node.operands[0]), value_of(node.operands[1])
+                )
+            elif op in CAST_OPS:
+                out = fold_cast(
+                    op, node.operands[0].type, node.type, value_of(node.operands[0])
+                )
+            elif op is Opcode.SELECT:
+                out = (
+                    value_of(node.operands[1])
+                    if value_of(node.operands[0])
+                    else value_of(node.operands[2])
+                )
+            elif op is Opcode.FNEG:
+                out = -value_of(node.operands[0])
+            elif op is Opcode.GEP:
+                out = int(value_of(node.operands[0])) + int(
+                    value_of(node.operands[1])
+                ) * node.elem_size
+            else:  # pragma: no cover - feasibility filter prevents this
+                raise PatchError(f"opcode {op} not implementable in datapath")
+            env[id(node)] = out
+            if node is output:
+                result = out
+        return result
+
+    return evaluate

@@ -1,0 +1,141 @@
+"""Execution profiles: per-basic-block dynamic execution counts.
+
+The paper's methodology rests on block-level profiles: they drive the
+live/dead/const code-coverage classification (Table I), the kernel-size
+analysis, the pruning filters, the speedup estimates, and the break-even
+model. A profile here is a mapping ``(function_name, block_name) -> count``
+plus enough static information to convert counts into cycles under any cost
+model *after* the run (so ASIP what-if analyses never need to re-execute).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.module import Module
+from repro.ir.opcodes import Opcode
+from repro.vm.costmodel import CostModel
+
+BlockKey = tuple[str, str]
+
+
+@dataclass
+class BlockProfile:
+    """Profile data of one basic block."""
+
+    function: str
+    block: str
+    count: int = 0
+    static_instructions: int = 0
+
+    @property
+    def key(self) -> BlockKey:
+        return (self.function, self.block)
+
+    @property
+    def dynamic_instructions(self) -> int:
+        return self.count * self.static_instructions
+
+
+@dataclass
+class ExecutionProfile:
+    """Block-level profile of one program execution."""
+
+    module_name: str = ""
+    blocks: dict[BlockKey, BlockProfile] = field(default_factory=dict)
+
+    def record(self, function: str, block: str, static_instructions: int) -> None:
+        key = (function, block)
+        prof = self.blocks.get(key)
+        if prof is None:
+            prof = BlockProfile(function, block, 0, static_instructions)
+            self.blocks[key] = prof
+        prof.count += 1
+
+    def count_of(self, function: str, block: str) -> int:
+        prof = self.blocks.get((function, block))
+        return prof.count if prof else 0
+
+    @property
+    def total_block_executions(self) -> int:
+        return sum(p.count for p in self.blocks.values())
+
+    @property
+    def total_dynamic_instructions(self) -> int:
+        return sum(p.dynamic_instructions for p in self.blocks.values())
+
+    # -- cycle accounting ------------------------------------------------------
+    def total_cycles(
+        self,
+        module: Module,
+        cost_model: CostModel,
+        block_cost_override=None,
+    ) -> float:
+        """Total CPU cycles of the profiled run under *cost_model*.
+
+        ``block_cost_override(func_name, block) -> float | None`` lets the
+        Woolcano machine model substitute per-block costs where custom
+        instructions replace part of the block.
+        """
+        total = 0.0
+        costs = static_block_costs(module, cost_model)
+        for key, prof in self.blocks.items():
+            if prof.count == 0:
+                continue
+            cost = None
+            if block_cost_override is not None:
+                cost = block_cost_override(*key)
+            if cost is None:
+                cost = costs.get(key)
+            if cost is None:
+                continue  # block disappeared (e.g. different module version)
+            total += prof.count * cost
+        return total
+
+    def block_time_shares(
+        self, module: Module, cost_model: CostModel
+    ) -> dict[BlockKey, float]:
+        """Fraction of total execution time spent in each block."""
+        costs = static_block_costs(module, cost_model)
+        per_block = {
+            key: prof.count * costs.get(key, 0.0)
+            for key, prof in self.blocks.items()
+        }
+        total = sum(per_block.values())
+        if total <= 0:
+            return {key: 0.0 for key in per_block}
+        return {key: v / total for key, v in per_block.items()}
+
+    def merged_with(self, other: "ExecutionProfile") -> "ExecutionProfile":
+        merged = ExecutionProfile(self.module_name)
+        for src in (self, other):
+            for key, prof in src.blocks.items():
+                if key in merged.blocks:
+                    merged.blocks[key].count += prof.count
+                else:
+                    merged.blocks[key] = BlockProfile(
+                        prof.function, prof.block, prof.count, prof.static_instructions
+                    )
+        return merged
+
+
+def static_block_costs(
+    module: Module, cost_model: CostModel
+) -> dict[BlockKey, float]:
+    """Static per-execution cycle cost of every block in *module*.
+
+    A block's cost is the sum of its instructions' costs; call instructions
+    contribute only call overhead (the callee's body is accounted in the
+    callee's own blocks).
+    """
+    costs: dict[BlockKey, float] = {}
+    for func in module.defined_functions():
+        for block in func.blocks:
+            total = 0.0
+            for instr in block.instructions:
+                # CUSTOM instructions are priced only by WoolcanoCostModel;
+                # the base model raises ValueError, which is the right
+                # failure mode for un-patched accounting paths.
+                total += cost_model.cycles_for(instr)
+            costs[(func.name, block.name)] = total
+    return costs

@@ -1,0 +1,39 @@
+"""APU / Fabric Co-processor Bus interface model.
+
+Woolcano attaches custom instructions to the PPC405 through the Auxiliary
+Processor Unit controller: operands are transferred from the register file
+over the FCB into the fabric, the datapath executes, and results return to
+the write-back stage. The transfer constants here are the authoritative
+values used by the PivPav estimator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FcbInterface:
+    """FCB transfer characteristics."""
+
+    operands_per_transfer: int = 2  # two register read ports feed the APU
+    results_per_transfer: int = 1  # one write-back port
+    decode_cycles: int = 1  # APU decode (pipelined with the first transfer)
+    # A UDI carries two source operands and one destination through the
+    # normal pipeline for free, like any PowerPC instruction; only operands
+    # beyond that need explicit FCB transfer cycles.
+    free_inputs: int = 2
+    free_outputs: int = 1
+
+    def transfer_cycles(self, n_inputs: int, n_outputs: int) -> int:
+        """CPU cycles to move operands in and results out of the fabric."""
+        import math
+
+        extra_in = max(0, n_inputs - self.free_inputs)
+        extra_out = max(0, max(1, n_outputs) - self.free_outputs)
+        ins = math.ceil(extra_in / self.operands_per_transfer)
+        outs = math.ceil(extra_out / self.results_per_transfer)
+        return ins + outs + self.decode_cycles
+
+
+DEFAULT_FCB = FcbInterface()

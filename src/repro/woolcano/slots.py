@@ -1,0 +1,82 @@
+"""Custom-instruction slot management.
+
+The APU decodes a finite set of user-defined instruction (UDI) opcodes;
+each opcode is bound to a fabric region configuration. Loading a new custom
+instruction into an occupied machine evicts the least-recently-used slot
+(the paper implements all candidates by time-multiplexing configurations;
+the slot model makes that cost explicit for the runtime system).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fpga.bitgen import PartialBitstream
+
+
+class SlotError(Exception):
+    """Raised on invalid slot operations."""
+
+
+@dataclass
+class LoadedInstruction:
+    """A custom instruction resident in a slot."""
+
+    custom_id: int
+    signature: int
+    bitstream: PartialBitstream
+    use_count: int = 0
+    last_use: int = 0
+
+
+@dataclass
+class CustomInstructionSlots:
+    """Fixed number of UDI slots with LRU eviction."""
+
+    capacity: int = 8
+    _slots: dict[int, LoadedInstruction] = field(default_factory=dict)
+    _clock: int = 0
+    loads: int = 0
+    evictions: int = 0
+
+    def load(
+        self, custom_id: int, signature: int, bitstream: PartialBitstream
+    ) -> LoadedInstruction | None:
+        """Load an instruction; returns the evicted one, if any."""
+        if self.capacity < 1:
+            raise SlotError("machine has no custom instruction slots")
+        if custom_id in self._slots:
+            return None
+        evicted = None
+        if len(self._slots) >= self.capacity:
+            victim_id = min(self._slots.values(), key=lambda s: s.last_use).custom_id
+            evicted = self._slots.pop(victim_id)
+            self.evictions += 1
+        self._clock += 1
+        self._slots[custom_id] = LoadedInstruction(
+            custom_id=custom_id,
+            signature=signature,
+            bitstream=bitstream,
+            last_use=self._clock,
+        )
+        self.loads += 1
+        return evicted
+
+    def is_loaded(self, custom_id: int) -> bool:
+        return custom_id in self._slots
+
+    def touch(self, custom_id: int) -> None:
+        slot = self._slots.get(custom_id)
+        if slot is None:
+            raise SlotError(f"custom instruction #{custom_id} is not loaded")
+        self._clock += 1
+        slot.last_use = self._clock
+        slot.use_count += 1
+
+    @property
+    def resident(self) -> list[int]:
+        return sorted(self._slots)
+
+    @property
+    def free_slots(self) -> int:
+        return self.capacity - len(self._slots)

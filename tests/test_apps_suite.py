@@ -1,0 +1,134 @@
+"""Tests for the benchmark application suite.
+
+Compiles all 14 applications once (module-scoped) and checks behaviour on
+the small datasets, keeping the suite fast while still executing each
+application end-to-end.
+"""
+
+import pytest
+
+from repro.apps import ALL_APPS, EMBEDDED_APPS, SCIENTIFIC_APPS, compile_app, get_app
+from repro.ir.verifier import verify_module
+
+
+@pytest.fixture(scope="module")
+def compiled_apps():
+    return {app.name: compile_app(app) for app in ALL_APPS}
+
+
+class TestRegistry:
+    def test_fourteen_apps_in_paper_order(self):
+        assert len(ALL_APPS) == 14
+        assert len(SCIENTIFIC_APPS) == 10
+        assert len(EMBEDDED_APPS) == 4
+        assert [a.name for a in SCIENTIFIC_APPS] == [
+            "164.gzip",
+            "179.art",
+            "183.equake",
+            "188.ammp",
+            "429.mcf",
+            "433.milc",
+            "444.namd",
+            "458.sjeng",
+            "470.lbm",
+            "473.astar",
+        ]
+        assert [a.name for a in EMBEDDED_APPS] == ["adpcm", "fft", "sor", "whetstone"]
+
+    def test_lookup(self):
+        assert get_app("fft").domain == "embedded"
+        with pytest.raises(KeyError):
+            get_app("999.nothing")
+
+    def test_every_app_has_three_datasets(self):
+        for app in ALL_APPS:
+            assert len(app.datasets) >= 3
+            assert app.datasets[0].name == "train"
+            sizes = [ds.size for ds in app.datasets]
+            assert len(set(sizes)) == len(sizes)  # distinct input sizes
+
+    def test_dataset_lookup(self):
+        app = get_app("sor")
+        assert app.dataset("small").size < app.train.size
+        with pytest.raises(KeyError):
+            app.dataset("gigantic")
+
+
+class TestCompilation:
+    def test_all_apps_compile_and_verify(self, compiled_apps):
+        for name, compiled in compiled_apps.items():
+            verify_module(compiled.module)
+            assert compiled.compilation.loc > 0
+            assert compiled.compilation.basic_blocks > 10
+            assert compiled.compilation.instructions > 100
+
+    def test_scientific_apps_are_larger(self, compiled_apps):
+        def avg(apps, attr):
+            vals = [getattr(compiled_apps[a.name].compilation, attr) for a in apps]
+            return sum(vals) / len(vals)
+
+        assert avg(SCIENTIFIC_APPS, "loc") > avg(EMBEDDED_APPS, "loc")
+        assert avg(SCIENTIFIC_APPS, "instructions") > avg(
+            EMBEDDED_APPS, "instructions"
+        )
+
+    def test_main_entry_exists(self, compiled_apps):
+        for compiled in compiled_apps.values():
+            main = compiled.module.function("main")
+            assert not main.is_declaration
+
+
+class TestExecution:
+    @pytest.mark.parametrize("app_name", [a.name for a in ALL_APPS])
+    def test_small_dataset_runs_clean(self, compiled_apps, app_name):
+        compiled = compiled_apps[app_name]
+        result = compiled.run("small")
+        assert result.return_value == 0
+        assert result.output, f"{app_name} produced no output"
+
+    @pytest.mark.parametrize("app_name", [a.name for a in ALL_APPS])
+    def test_deterministic_across_runs(self, compiled_apps, app_name):
+        compiled = compiled_apps[app_name]
+        r1 = compiled.run("small")
+        r2 = compiled.run("small")
+        assert r1.output == r2.output
+        assert r1.steps == r2.steps
+
+    @pytest.mark.parametrize("app_name", [a.name for a in ALL_APPS])
+    def test_input_size_changes_execution(self, compiled_apps, app_name):
+        """Bigger datasets must execute more instructions (live code)."""
+        compiled = compiled_apps[app_name]
+        small = compiled.run("small")
+        large = compiled.run("large")
+        assert large.steps > small.steps
+
+    def test_adpcm_reconstruction_quality(self, compiled_apps):
+        result = compiled_apps["adpcm"].run("small")
+        avg_err, max_err = result.output[0], result.output[1]
+        assert 0 <= avg_err < 2000  # codec tracks the signal
+
+    def test_fft_round_trip_error_small(self, compiled_apps):
+        result = compiled_apps["fft"].run("small")
+        rms = result.output[0]
+        assert 0 <= rms < 1e-9  # forward+inverse recovers the signal
+
+    def test_sor_converges(self, compiled_apps):
+        result = compiled_apps["sor"].run("small")
+        assert result.output[0] > 0.0
+
+    def test_astar_finds_paths(self, compiled_apps):
+        result = compiled_apps["473.astar"].run("small")
+        found, total, expanded = result.output[:3]
+        assert found >= 1
+        assert total > 0 and expanded > 0
+
+    def test_gzip_compresses(self, compiled_apps):
+        result = compiled_apps["164.gzip"].run("small")
+        emitted_bits, n_lit, n_match, ratio_x100 = result.output[:4]
+        assert n_match > 0  # repeated phrases were found
+        assert ratio_x100 > 100  # output smaller than input
+
+    def test_mcf_pushes_flow(self, compiled_apps):
+        result = compiled_apps["429.mcf"].run("small")
+        flow, cost = result.output[:2]
+        assert flow > 0 and cost > 0

@@ -1,0 +1,55 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_tables_choices(self):
+        args = build_parser().parse_args(["tables", "3"])
+        assert args.which == "3"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tables", "9"])
+
+    def test_app_commands_require_app(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["analyze"])
+
+
+class TestCommands:
+    def test_apps_lists_suite(self, capsys):
+        assert main(["apps"]) == 0
+        out = capsys.readouterr().out
+        assert "164.gzip" in out and "whetstone" in out
+        assert "datasets:" in out
+
+    def test_figures(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "Candidate Search" in out and "Virtual Machine" in out
+
+    def test_analyze_app(self, capsys):
+        assert main(["analyze", "sor"]) == 0
+        out = capsys.readouterr().out
+        assert "ASIP ratio" in out
+        assert "break-even" in out
+
+    def test_timeline_app(self, capsys):
+        assert main(["timeline", "sor"]) == 0
+        out = capsys.readouterr().out
+        assert "bitstream" in out
+        assert "dedicated-host break-even" in out
+
+    def test_jit_app(self, capsys):
+        assert main(["jit", "sor"]) == 0
+        out = capsys.readouterr().out
+        assert "patched output identical: True" in out
+
+    def test_unknown_app_raises(self):
+        with pytest.raises(KeyError):
+            main(["analyze", "999.bogus"])

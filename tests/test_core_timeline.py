@@ -1,0 +1,106 @@
+"""Tests for the concurrent-specialization timeline simulator."""
+
+import math
+
+import pytest
+
+from repro.core import AsipSpecializationProcess, TimelineSimulator
+from repro.frontend import compile_source
+from repro.profiling import classify_blocks
+from repro.vm import Interpreter
+
+
+@pytest.fixture(scope="module")
+def timeline_setup():
+    src = """
+double a[64]; double b[64];
+int main() {
+    int n = dataset_size();
+    if (n < 8) n = 8;
+    if (n > 64) n = 64;
+    for (int i = 0; i < 64; i++) { a[i] = 0.01 * (double)i; b[i] = 1.5; }
+    double s = 0.0;
+    for (int it = 0; it < 10; it++)
+        for (int i = 0; i < n - 1; i++)
+            s += a[i] * b[i] + a[i + 1] * 0.3 - b[i] / 5.0;
+    print_f64(s);
+    return 0;
+}
+"""
+    module = compile_source(src, "timeline").module
+    p1 = Interpreter(module, dataset_size=48).run("main").profile
+    p2 = Interpreter(module, dataset_size=16).run("main").profile
+    coverage = classify_blocks(module, [p1, p2])
+    report = AsipSpecializationProcess().run(module, p1)
+    result = TimelineSimulator().simulate(module, p1, coverage, report)
+    return module, p1, coverage, report, result
+
+
+class TestTimeline:
+    def test_events_ordered(self, timeline_setup):
+        *_, result = timeline_setup
+        times = [ev.time for ev in result.events]
+        assert times == sorted(times)
+
+    def test_search_then_bitstreams_then_activation(self, timeline_setup):
+        *_, result = timeline_setup
+        kinds = [ev.kind for ev in result.events]
+        assert kinds[0] == "search"
+        assert "bitstream" in kinds and "activate" in kinds
+
+    def test_one_bitstream_event_per_candidate(self, timeline_setup):
+        *_, report, result = timeline_setup
+        n_bitstreams = sum(1 for ev in result.events if ev.kind == "bitstream")
+        assert n_bitstreams == report.candidate_count
+
+    def test_specialization_done_matches_toolflow_time(self, timeline_setup):
+        *_, report, result = timeline_setup
+        expected = report.search.search_seconds + report.toolflow_seconds
+        assert result.specialization_done == pytest.approx(expected, rel=1e-6)
+
+    def test_final_rate_above_one(self, timeline_setup):
+        *_, result = timeline_setup
+        assert result.final_rate > 1.0
+
+    def test_rate_monotone_nondecreasing(self, timeline_setup):
+        *_, result = timeline_setup
+        rates = [
+            float(ev.detail.split()[3].rstrip("x"))
+            for ev in result.events
+            if ev.kind == "activate"
+        ]
+        assert rates == sorted(rates)
+
+    def test_dedicated_break_even_after_first_activation(self, timeline_setup):
+        *_, result = timeline_setup
+        if math.isfinite(result.dedicated_break_even):
+            first_activation = min(
+                ev.time for ev in result.events if ev.kind == "activate"
+            )
+            assert result.dedicated_break_even >= first_activation
+
+    def test_self_hosted_later_or_equal_no_crossover_before_done(
+        self, timeline_setup
+    ):
+        *_, result = timeline_setup
+        if math.isfinite(result.self_hosted_break_even):
+            # while sharing the CPU the app is BEHIND baseline; catching up
+            # can only happen after specialization completes
+            assert result.self_hosted_break_even >= result.specialization_done
+
+    def test_event_log_renders(self, timeline_setup):
+        *_, result = timeline_setup
+        log = result.event_log()
+        assert "search" in log and "activate" in log
+
+    def test_no_candidates_yields_no_break_even(self, timeline_setup):
+        module, profile, coverage, report, _ = timeline_setup
+        import dataclasses
+
+        empty = dataclasses.replace(
+            report, implementations=[], reconfigurations=[]
+        )
+        result = TimelineSimulator().simulate(module, profile, coverage, empty)
+        assert result.final_rate == 1.0
+        assert math.isinf(result.dedicated_break_even)
+        assert math.isinf(result.self_hosted_break_even)

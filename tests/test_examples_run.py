@@ -1,0 +1,45 @@
+"""The example scripts must run cleanly — they are the public quickstart."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        proc = _run("quickstart.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "candidate search:" in proc.stdout
+        assert "entity ci_" in proc.stdout
+        assert "ASIP speedup" in proc.stdout
+
+    def test_custom_kernel(self):
+        proc = _run("custom_kernel.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "maxmiso (paper)" in proc.stdout
+        assert "single-cut enum" in proc.stdout
+
+    def test_jit_embedded_app_on_sor(self):
+        proc = _run("jit_embedded_app.py", "sor")
+        assert proc.returncode == 0, proc.stderr
+        assert "patched output identical" in proc.stdout
+        assert "break-even" in proc.stdout
+
+    def test_cache_study_on_sor(self):
+        proc = _run("bitstream_cache_study.py", "sor")
+        assert proc.returncode == 0, proc.stderr
+        assert "Cache hit [%]" in proc.stdout
+        assert "hit rate on re-run 100%" in proc.stdout or "hit rate" in proc.stdout

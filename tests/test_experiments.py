@@ -1,0 +1,117 @@
+"""Tests for the experiment drivers (table generators and runner)."""
+
+import math
+
+import pytest
+
+from repro.experiments import analyze_app, generate_figures
+from repro.experiments.table1 import Table1, Table1Row, row_for
+from repro.experiments.table2 import Table2, Table2Row
+from repro.experiments.table2 import row_for as t2_row_for
+from repro.util.timefmt import parse_hms
+
+
+@pytest.fixture(scope="module")
+def sor_analysis():
+    return analyze_app("sor")
+
+
+class TestRunner:
+    def test_analysis_bundle_complete(self, sor_analysis):
+        a = sor_analysis
+        assert a.name == "sor" and a.domain == "embedded"
+        assert set(a.profiles) == {"train", "small", "large"}
+        assert a.runtime.vm_seconds > 0
+        assert a.asip_max.ratio >= a.asip_pruned.ratio - 1e-6
+        assert a.kernel.freq_pct >= 90.0
+        assert a.coverage.live_pct > 0
+        assert a.specialization.candidate_count >= 1
+        assert a.breakeven.overhead_seconds > 0
+
+    def test_cache_returns_same_object(self, sor_analysis):
+        assert analyze_app("sor") is sor_analysis
+
+    def test_pruning_efficiency_positive(self, sor_analysis):
+        assert sor_analysis.pruning_efficiency > 0
+
+
+class TestTable1Rendering:
+    def _fake_rows(self):
+        rows = []
+        for i, (name, domain) in enumerate(
+            [("app.sci", "scientific"), ("app.emb", "embedded")]
+        ):
+            rows.append(
+                Table1Row(
+                    app=name,
+                    domain=domain,
+                    files=2,
+                    loc=100 + i,
+                    compile_s=0.5,
+                    blocks=50,
+                    instructions=300,
+                    vm_s=1.0,
+                    native_s=0.9,
+                    vm_ratio=1.11,
+                    asip_ratio=2.0 + i,
+                    live_pct=50.0,
+                    dead_pct=30.0,
+                    const_pct=20.0,
+                    kernel_size_pct=15.0,
+                    kernel_freq_pct=93.0,
+                    kernel_instructions=45,
+                )
+            )
+        return rows
+
+    def test_render_contains_summary_rows(self):
+        table = Table1(rows=self._fake_rows())
+        text = table.render()
+        assert "AVG-S" in text and "AVG-E" in text and "RATIO" in text
+        assert "app.sci" in text and "app.emb" in text
+
+    def test_ratio_row_is_avgs_over_avge(self):
+        table = Table1(rows=self._fake_rows())
+        ratio = table.ratio_row()
+        assert ratio["asip_ratio"] == pytest.approx(2.0 / 3.0)
+
+    def test_row_from_analysis(self, sor_analysis):
+        row = row_for(sor_analysis)
+        assert row.app == "sor"
+        assert row.live_pct + row.dead_pct + row.const_pct == pytest.approx(
+            100.0
+        )
+
+
+class TestTable2Rendering:
+    def test_row_and_render(self, sor_analysis):
+        row = t2_row_for(sor_analysis)
+        assert row.candidates == sor_analysis.specialization.candidate_count
+        assert row.sum_s == pytest.approx(
+            row.const_s + row.map_s + row.par_s
+        )
+        table = Table2(rows=[row])
+        text = table.render()
+        assert "sor" in text and "break even" in text
+
+    def test_infinite_break_even_renders_never(self, sor_analysis):
+        row = t2_row_for(sor_analysis)
+        row.break_even_s = math.inf
+        text = Table2(rows=[row]).render()
+        assert "never" in text
+
+    def test_break_even_cell_parses_back(self, sor_analysis):
+        row = t2_row_for(sor_analysis)
+        if math.isfinite(row.break_even_s):
+            from repro.util.timefmt import format_dhms
+
+            cell = format_dhms(row.break_even_s)
+            assert parse_hms(cell) == pytest.approx(row.break_even_s, abs=1.0)
+
+
+class TestFigures:
+    def test_both_figures_generated(self):
+        figs = generate_figures()
+        assert set(figs) == {"figure1", "figure2"}
+        assert "bitcode" in figs["figure1"]
+        assert "PivPav" in figs["figure2"]

@@ -1,0 +1,139 @@
+"""Failure-injection tests: CAD and VM failure paths must degrade cleanly."""
+
+import pytest
+
+from repro.core import AsipSpecializationProcess
+from repro.fpga import CadToolFlow
+from repro.fpga.device import FpgaDevice, PartialRegion
+from repro.fpga.placer import PlacementError
+from repro.frontend import compile_source
+from repro.vm import Interpreter, VMError
+
+
+# A device whose reconfigurable region is far too small for any FP datapath.
+TINY_DEVICE = FpgaDevice(
+    name="xc4v_tiny",
+    clb_cols=8,
+    clb_rows=8,
+    luts_per_clb=8,
+    dsp_blocks=4,
+    bram_blocks=4,
+    ppc_cores=1,
+    config_frame_bytes=164,
+    frames_per_clb_col=64,
+    region=PartialRegion(
+        name="ci_region", origin_col=2, origin_row=2, cols=2, rows=2
+    ),
+)
+
+
+@pytest.fixture(scope="module")
+def fp_app():
+    src = """
+double a[48]; double b[48];
+int main() {
+    for (int i = 0; i < 48; i++) { a[i] = 0.02 * (double)i; b[i] = 1.25; }
+    double s = 0.0;
+    for (int it = 0; it < 8; it++)
+        for (int i = 1; i < 47; i++)
+            s += a[i] * b[i] + a[i - 1] * 0.5 - b[i] / 7.0;
+    print_f64(s);
+    return 0;
+}
+"""
+    comp = compile_source(src, "failinj")
+    profile = Interpreter(comp.module).run("main").profile
+    return comp.module, profile
+
+
+class TestCadFailures:
+    def test_placement_failure_on_tiny_region(self, fp_app):
+        module, profile = fp_app
+        from repro.ise import CandidateSearch
+
+        search = CandidateSearch().run(module, profile)
+        flow = CadToolFlow(device=TINY_DEVICE)
+        with pytest.raises(PlacementError):
+            flow.implement(search.selected[0].candidate)
+
+    def test_asip_sp_survives_cad_failures(self, fp_app):
+        module, profile = fp_app
+        process = AsipSpecializationProcess(
+            toolflow=CadToolFlow(device=TINY_DEVICE)
+        )
+        report = process.run(module, profile)
+        # every candidate failed placement; the report says so cleanly
+        assert report.candidate_count == 0
+        assert report.failed
+        for est, message in report.failed:
+            assert "region" in message or "cells" in message
+        assert report.toolflow_seconds == 0.0
+
+    def test_partial_failure_keeps_successes(self, fp_app):
+        # On the real device everything fits: failed list must be empty.
+        module, profile = fp_app
+        report = AsipSpecializationProcess().run(module, profile)
+        assert not report.failed
+        assert report.candidate_count >= 1
+
+
+class TestVmFailures:
+    def test_oom_heap(self):
+        src = """
+int main() {
+    long total = 0;
+    for (int i = 0; i < 100; i++) {
+        double* p = (double*)malloc((long)4000000);
+        total += 1;
+    }
+    return (int)total;
+}
+"""
+        module = compile_source(src, "oom").module
+        from repro.vm.memory import MemoryError_
+
+        with pytest.raises(MemoryError_, match="heap"):
+            Interpreter(module).run("main")
+
+    def test_out_of_bounds_store(self):
+        src = """
+int xs[4];
+int main() {
+    int i = dataset_size();
+    xs[i] = 7;    // i = 10**9-ish: far out of range
+    return xs[0];
+}
+"""
+        module = compile_source(src, "oob").module
+        from repro.vm.memory import MemoryError_
+
+        with pytest.raises(MemoryError_):
+            Interpreter(module, dataset_size=10**9).run("main")
+
+    def test_null_deref(self):
+        src = """
+int main() {
+    int* p = (int*)((long)0);
+    return p[0];
+}
+"""
+        module = compile_source(src, "null").module
+        from repro.vm.memory import MemoryError_
+
+        with pytest.raises(MemoryError_):
+            Interpreter(module).run("main")
+
+    def test_stack_overflow_from_runaway_recursion(self):
+        src = """
+int down(int n) {
+    int pad[64];
+    pad[0] = n;
+    return down(n + 1) + pad[0];
+}
+int main() { return down(0); }
+"""
+        module = compile_source(src, "deeprec").module
+        from repro.vm.memory import MemoryError_
+
+        with pytest.raises((MemoryError_, RecursionError, VMError)):
+            Interpreter(module).run("main")

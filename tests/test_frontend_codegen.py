@@ -1,0 +1,254 @@
+"""Tests for MiniC codegen: language semantics via compile-and-run."""
+
+import pytest
+
+from repro.frontend import CompileError, compile_source
+from repro.vm import Interpreter
+
+from conftest import run_main
+
+
+class TestArithmeticSemantics:
+    def test_integer_division_truncates(self):
+        assert run_main("int main() { return -7 / 2; }").return_value == -3
+
+    def test_modulo_sign(self):
+        assert run_main("int main() { return -7 % 3; }").return_value == -1
+
+    def test_int_overflow_wraps(self):
+        r = run_main("int main() { int x = 2147483647; return x + 1; }")
+        assert r.return_value == -(2**31)
+
+    def test_shifts(self):
+        assert run_main("int main() { return (1 << 10) >> 3; }").return_value == 128
+        assert run_main("int main() { return -16 >> 2; }").return_value == -4
+
+    def test_bitwise(self):
+        assert run_main("int main() { return (12 & 10) | (1 ^ 3); }").return_value == 10
+
+    def test_long_arithmetic(self):
+        src = """
+int main() {
+    long a = 3000000000;
+    long b = a * 2;
+    print_i64(b);
+    return (int)(b % 1000);
+}
+"""
+        r = run_main(src)
+        assert r.output[0] == 6000000000
+        assert r.return_value == 0
+
+    def test_mixed_int_double_promotion(self):
+        src = "int main() { double d = 3 / 2.0; print_f64(d); return 0; }"
+        assert run_main(src).output[0] == 1.5
+
+    def test_float_truncation_on_assignment(self):
+        src = "int main() { int i = 7.9; return i; }"
+        assert run_main(src).return_value == 7
+
+    def test_unary_ops(self):
+        assert run_main("int main() { return !0 + !5 * 10 + ~0; }").return_value == 0
+        assert run_main("int main() { return -(-5); }").return_value == 5
+
+
+class TestControlFlow:
+    def test_short_circuit_and(self):
+        src = """
+int calls = 0;
+int bump() { calls++; return 1; }
+int main() { int r = 0 && bump(); return calls * 10 + r; }
+"""
+        assert run_main(src).return_value == 0
+
+    def test_short_circuit_or(self):
+        src = """
+int calls = 0;
+int bump() { calls++; return 0; }
+int main() { int r = 1 || bump(); return calls * 10 + r; }
+"""
+        assert run_main(src).return_value == 1
+
+    def test_ternary(self):
+        assert run_main("int main() { return 3 > 2 ? 10 : 20; }").return_value == 10
+
+    def test_break_continue(self):
+        src = """
+int main() {
+    int acc = 0;
+    for (int i = 0; i < 100; i++) {
+        if (i % 2 == 0) continue;
+        if (i > 10) break;
+        acc += i;
+    }
+    return acc;
+}
+"""
+        assert run_main(src).return_value == 1 + 3 + 5 + 7 + 9
+
+    def test_nested_loops_with_break(self):
+        src = """
+int main() {
+    int acc = 0;
+    for (int i = 0; i < 5; i++)
+        for (int j = 0; j < 5; j++) {
+            if (j > i) break;
+            acc++;
+        }
+    return acc;
+}
+"""
+        assert run_main(src).return_value == 1 + 2 + 3 + 4 + 5
+
+    def test_while_with_compound_condition(self):
+        src = """
+int main() {
+    int i = 0; int j = 20;
+    while (i < 10 && j > 15) { i++; j--; }
+    return i * 100 + j;
+}
+"""
+        assert run_main(src).return_value == 5 * 100 + 15
+
+    def test_recursion(self):
+        src = """
+int ack(int m, int n) {
+    if (m == 0) return n + 1;
+    if (n == 0) return ack(m - 1, 1);
+    return ack(m - 1, ack(m, n - 1));
+}
+int main() { return ack(2, 3); }
+"""
+        assert run_main(src).return_value == 9
+
+    def test_implicit_return_zero(self):
+        assert run_main("int main() { int x = 5; }").return_value == 0
+
+
+class TestArraysAndPointers:
+    def test_local_array(self):
+        src = """
+int main() {
+    int a[10];
+    for (int i = 0; i < 10; i++) a[i] = i * i;
+    return a[7];
+}
+"""
+        assert run_main(src).return_value == 49
+
+    def test_global_array_initializer(self):
+        src = """
+int table[5] = {10, 20, 30, 40, 50};
+int main() { return table[0] + table[4]; }
+"""
+        assert run_main(src).return_value == 60
+
+    def test_array_decay_to_pointer_param(self):
+        src = """
+int sum(int* p, int n) {
+    int acc = 0;
+    for (int i = 0; i < n; i++) acc += p[i];
+    return acc;
+}
+int main() {
+    int a[4];
+    a[0] = 1; a[1] = 2; a[2] = 3; a[3] = 4;
+    return sum(a, 4);
+}
+"""
+        assert run_main(src).return_value == 10
+
+    def test_pointer_arithmetic(self):
+        src = """
+int main() {
+    int a[4];
+    a[0] = 5; a[1] = 6; a[2] = 7; a[3] = 8;
+    int* p = a + 1;
+    return p[0] * 10 + (p + 2)[0];
+}
+"""
+        assert run_main(src).return_value == 68
+
+    def test_malloc(self):
+        src = """
+int main() {
+    double* buf = (double*)malloc((long)64);
+    for (int i = 0; i < 8; i++) buf[i] = (double)i * 0.5;
+    double s = 0.0;
+    for (int i = 0; i < 8; i++) s += buf[i];
+    return (int)s;
+}
+"""
+        assert run_main(src).return_value == 14
+
+    def test_global_scalar_mutation(self):
+        src = """
+int counter = 100;
+void bump(int by) { counter += by; }
+int main() { bump(5); bump(7); return counter; }
+"""
+        assert run_main(src).return_value == 112
+
+    def test_incdec_on_array_elements(self):
+        src = """
+int main() {
+    int a[2];
+    a[0] = 5; a[1] = 10;
+    a[0]++;
+    --a[1];
+    return a[0] * 100 + a[1];
+}
+"""
+        assert run_main(src).return_value == 609
+
+
+class TestIntrinsics:
+    def test_math(self):
+        r = run_main(
+            "int main() { print_f64(sqrt(16.0)); print_f64(fabs(-2.5)); return 0; }"
+        )
+        assert r.output == [4.0, 2.5]
+
+    def test_deterministic_rand(self):
+        src = """
+int main() {
+    srand(42);
+    int a = rand();
+    srand(42);
+    int b = rand();
+    return a == b ? 1 : 0;
+}
+"""
+        assert run_main(src).return_value == 1
+
+    def test_dataset_intrinsics(self):
+        src = "int main() { return dataset_size() * 1000 + dataset_seed(); }"
+        r = run_main(src, dataset_size=12, seed=34)
+        assert r.return_value == 12034
+
+
+class TestDiagnostics:
+    @pytest.mark.parametrize(
+        "source,pattern",
+        [
+            ("int main() { return x; }", "undeclared"),
+            ("int main() { int a; int a; return 0; }", "redeclaration"),
+            ("int main() { return f(); }", "unknown function"),
+            ("int f(int a) { return a; } int main() { return f(); }", "expects 1"),
+            ("void v() {} int main() { int x = 1 + 0; v(); return v() + x; }", "void"),
+            ("int main() { break; }", "outside of loop"),
+            ("double d; int main() { int* p = d; return 0; }", "convert"),
+            ("int main() { double d = 1.0; return d[0]; }", "non-pointer"),
+            ("void f() { return 1; } int main() { return 0; }", "void function"),
+            ("int f() { return; } int main() { return 0; }", "without value"),
+        ],
+    )
+    def test_semantic_errors(self, source, pattern):
+        with pytest.raises(CompileError, match=pattern):
+            compile_source(source)
+
+    def test_loc_counting(self):
+        from repro.frontend.compiler import count_loc
+
+        src = "int x;\n\n// comment\n/* block\n   comment */\nint y; // trailing\n"
+        assert count_loc(src) == 2

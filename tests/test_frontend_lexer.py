@@ -1,0 +1,76 @@
+"""Tests for the MiniC lexer."""
+
+import pytest
+
+from repro.frontend.errors import CompileError
+from repro.frontend.lexer import TokenKind, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)][:-1]  # drop EOF
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)][:-1]
+
+
+class TestBasics:
+    def test_empty_source_is_just_eof(self):
+        toks = tokenize("")
+        assert len(toks) == 1 and toks[0].kind is TokenKind.EOF
+
+    def test_identifiers_vs_keywords(self):
+        toks = tokenize("int foo while whilefoo _bar x1")
+        assert [t.kind for t in toks[:-1]] == [
+            TokenKind.KEYWORD,
+            TokenKind.IDENT,
+            TokenKind.KEYWORD,
+            TokenKind.IDENT,
+            TokenKind.IDENT,
+            TokenKind.IDENT,
+        ]
+
+    def test_integer_literals(self):
+        toks = tokenize("0 42 0x1F")
+        assert [t.value for t in toks[:-1]] == [0, 42, 31]
+
+    def test_float_literals(self):
+        toks = tokenize("1.5 2. 1e3 2.5e-2 3.0f")
+        values = [t.value for t in toks[:-1]]
+        assert values == [1.5, 2.0, 1000.0, 0.025, 3.0]
+        assert all(t.kind is TokenKind.FLOAT_LIT for t in toks[:-1])
+
+    def test_longest_match_punctuation(self):
+        assert texts("a <<= b << c <= d < e") == ["a", "<<=", "b", "<<", "c", "<=", "d", "<", "e"]
+        assert texts("x++ + ++y") == ["x", "++", "+", "++", "y"]
+
+    def test_line_and_column_tracking(self):
+        toks = tokenize("a\n  b")
+        assert (toks[0].line, toks[0].column) == (1, 1)
+        assert (toks[1].line, toks[1].column) == (2, 3)
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert texts("a // comment until eol\nb") == ["a", "b"]
+
+    def test_block_comment(self):
+        assert texts("a /* b c d */ e") == ["a", "e"]
+
+    def test_multiline_block_comment_tracks_lines(self):
+        toks = tokenize("/* x\ny\nz */ a")
+        assert toks[0].line == 3
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(CompileError, match="unterminated"):
+            tokenize("a /* no end")
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(CompileError, match="unexpected character"):
+            tokenize("a $ b")
+
+    def test_malformed_exponent(self):
+        with pytest.raises(CompileError, match="exponent"):
+            tokenize("1e+")

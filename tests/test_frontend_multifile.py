@@ -1,0 +1,92 @@
+"""Tests for multi-translation-unit compilation (compile_files)."""
+
+import pytest
+
+from repro.frontend import CompileError, compile_files
+from repro.vm import Interpreter
+
+
+class TestCrossFileReferences:
+    def test_functions_and_globals_visible_across_files(self):
+        lib = """
+int counter = 0;
+int bump(int by) { counter += by; return counter; }
+"""
+        main = """
+int main() {
+    bump(3);
+    bump(4);
+    return counter;
+}
+"""
+        result = compile_files([("lib.c", lib), ("main.c", main)], "multi")
+        assert result.files == 2
+        assert Interpreter(result.module).run("main").return_value == 7
+
+    def test_order_independent(self):
+        a = "int helper() { return shared * 2; }"
+        b = "int shared = 21;\nint main() { return helper(); }"
+        for order in ([("a.c", a), ("b.c", b)], [("b.c", b), ("a.c", a)]):
+            result = compile_files(order, f"order{order[0][0]}")
+            assert Interpreter(result.module).run("main").return_value == 42
+
+    def test_duplicate_function_across_files_rejected(self):
+        a = "int f() { return 1; }"
+        b = "int f() { return 2; }\nint main() { return f(); }"
+        with pytest.raises(Exception, match="duplicate"):
+            compile_files([("a.c", a), ("b.c", b)], "dup")
+
+    def test_duplicate_global_across_files_rejected(self):
+        a = "int g = 1;"
+        b = "int g = 2;\nint main() { return g; }"
+        with pytest.raises(Exception, match="duplicate"):
+            compile_files([("a.c", a), ("b.c", b)], "dupg")
+
+    def test_loc_summed_across_files(self):
+        a = "int x = 1;\nint y = 2;\n"
+        b = "int main() { return x + y; }\n"
+        result = compile_files([("a.c", a), ("b.c", b)], "locs")
+        assert result.loc == 3
+
+    def test_pass_timings_recorded(self):
+        result = compile_files(
+            [("m.c", "int main() { return 1 + 2; }")], "timed"
+        )
+        names = [name for name, _ in result.pass_timings]
+        assert "mem2reg" in names
+        assert "dce" in names
+        assert all(t >= 0 for _, t in result.pass_timings)
+
+
+class TestEstimatorAndCandidateCorners:
+    def test_candidate_repr_and_key(self, fp_kernel_profile):
+        from repro.ise import CandidateSearch
+
+        module, profile, _ = fp_kernel_profile
+        search = CandidateSearch().run(module, profile)
+        cand = search.selected[0].candidate
+        assert cand.key == (cand.function, cand.block, cand.index)
+        assert "Candidate" in repr(cand)
+
+    def test_netlist_stats(self):
+        from repro.pivpav.netlist import generate_core_netlist
+
+        nl = generate_core_netlist("test_core", 160, 80, 2, 1)
+        stats = nl.stats
+        assert stats["LUT4"] == 10
+        assert stats["FDRE"] == 5
+        assert stats["DSP48"] == 2
+        assert stats["RAMB16"] == 1
+        assert stats["nets"] > 0 and stats["ports"] > 0
+
+    def test_asip_sp_const_accounting(self, fp_kernel_profile):
+        from repro.core import AsipSpecializationProcess
+
+        module, profile, _ = fp_kernel_profile
+        report = AsipSpecializationProcess().run(module, profile)
+        # const column equals the sum of the five constant stages
+        manual = sum(
+            ci.times.c2v + ci.times.syn + ci.times.xst + ci.times.tra + ci.times.bitgen
+            for ci in report.implementations
+        )
+        assert report.const_seconds == pytest.approx(manual)

@@ -1,0 +1,140 @@
+"""Tests for the MiniC parser."""
+
+import pytest
+
+from repro.frontend import ast
+from repro.frontend.errors import CompileError
+from repro.frontend.parser import parse_program
+
+
+def parse_expr(expr_src: str) -> ast.Expr:
+    program = parse_program(f"int main() {{ return {expr_src}; }}")
+    ret = program.functions[0].body.statements[0]
+    assert isinstance(ret, ast.Return)
+    return ret.value
+
+
+class TestDeclarations:
+    def test_globals_and_functions(self):
+        p = parse_program(
+            """
+double coef[4] = {1.0, -2.0, 3.5, 4.0};
+int n = 10;
+int main() { return 0; }
+"""
+        )
+        assert [g.name for g in p.globals] == ["coef", "n"]
+        assert p.globals[0].array_size == 4
+        assert p.globals[0].init_values == [1.0, -2.0, 3.5, 4.0]
+        assert p.globals[1].init_values == [10]
+        assert [f.name for f in p.functions] == ["main"]
+
+    def test_function_parameters(self):
+        p = parse_program("int f(int a, double b, int* p) { return a; }")
+        params = p.functions[0].params
+        assert [(str(q.ctype), q.name) for q in params] == [
+            ("int", "a"),
+            ("double", "b"),
+            ("int*", "p"),
+        ]
+
+    def test_pointer_types(self):
+        p = parse_program("int f(double** pp) { return 0; }")
+        assert p.functions[0].params[0].ctype.pointer_depth == 2
+
+
+class TestPrecedence:
+    def test_mul_binds_tighter_than_add(self):
+        e = parse_expr("1 + 2 * 3")
+        assert isinstance(e, ast.Binary) and e.op == "+"
+        assert isinstance(e.rhs, ast.Binary) and e.rhs.op == "*"
+
+    def test_comparison_below_arithmetic(self):
+        e = parse_expr("a + b < c * d")
+        assert e.op == "<"
+
+    def test_logical_lowest(self):
+        e = parse_expr("a < b && c < d || e")
+        assert e.op == "||"
+        assert e.lhs.op == "&&"
+
+    def test_shift_between_add_and_compare(self):
+        e = parse_expr("a + b << c < d")
+        assert e.op == "<"
+        assert e.lhs.op == "<<"
+
+    def test_parentheses_override(self):
+        e = parse_expr("(1 + 2) * 3")
+        assert e.op == "*" and e.lhs.op == "+"
+
+    def test_assignment_right_associative(self):
+        p = parse_program("int main() { int a; int b; a = b = 1; return a; }")
+        stmt = p.functions[0].body.statements[2]
+        assign = stmt.expr
+        assert isinstance(assign, ast.Assign)
+        assert isinstance(assign.value, ast.Assign)
+
+    def test_ternary(self):
+        e = parse_expr("a ? b : c ? d : e")
+        assert isinstance(e, ast.Conditional)
+        assert isinstance(e.if_false, ast.Conditional)
+
+    def test_unary_and_cast(self):
+        e = parse_expr("-(double)x")
+        assert isinstance(e, ast.Unary) and e.op == "-"
+        assert isinstance(e.operand, ast.Cast)
+
+    def test_postfix_index_chain(self):
+        e = parse_expr("a[i][j]")
+        assert isinstance(e, ast.Index) and isinstance(e.base, ast.Index)
+
+    def test_call_with_args(self):
+        e = parse_expr("f(1, g(2), x + 1)")
+        assert isinstance(e, ast.Call) and len(e.args) == 3
+        assert isinstance(e.args[1], ast.Call)
+
+
+class TestStatements:
+    def test_for_with_decl(self):
+        p = parse_program("int main() { for (int i = 0; i < 4; i++) {} return 0; }")
+        loop = p.functions[0].body.statements[0]
+        assert isinstance(loop, ast.For)
+        assert isinstance(loop.init, ast.VarDecl)
+        assert loop.cond is not None and loop.step is not None
+
+    def test_for_all_parts_optional(self):
+        p = parse_program("int main() { for (;;) break; return 0; }")
+        loop = p.functions[0].body.statements[0]
+        assert loop.init is None and loop.cond is None and loop.step is None
+
+    def test_if_else_chain(self):
+        p = parse_program(
+            "int main() { if (1) return 1; else if (2) return 2; else return 3; }"
+        )
+        stmt = p.functions[0].body.statements[0]
+        assert isinstance(stmt.else_body, ast.If)
+
+    def test_while_break_continue(self):
+        p = parse_program(
+            "int main() { while (1) { if (1) break; continue; } return 0; }"
+        )
+        loop = p.functions[0].body.statements[0]
+        assert isinstance(loop, ast.While)
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "source,pattern",
+        [
+            ("int main() { return 1 }", "expected ';'"),
+            ("int main() { 5 = x; return 0; }", "assignment target"),
+            ("int main() { ++5; return 0; }", "increment target"),
+            ("int main( { return 0; }", "expected"),
+            ("int main() { int a[n]; return 0; }", "integer literal"),
+            ("foo main() { return 0; }", "expected declaration"),
+            ("int main() { return 0;", "unterminated|expected"),
+        ],
+    )
+    def test_rejects(self, source, pattern):
+        with pytest.raises(CompileError):
+            parse_program(source)

@@ -1,0 +1,166 @@
+"""Tests for IRBuilder construction and type checking."""
+
+import pytest
+
+from repro.ir import (
+    F32,
+    F64,
+    I1,
+    I32,
+    I64,
+    IRBuilder,
+    Module,
+    verify_function,
+)
+from repro.ir.opcodes import FCmpPred, ICmpPred, Opcode
+from repro.ir.values import Constant
+
+
+@pytest.fixture
+def func_and_builder():
+    m = Module("t")
+    f = m.declare_function("f", I32, [("a", I32), ("b", I32), ("x", F64)])
+    block = f.add_block("entry")
+    return f, IRBuilder(block)
+
+
+class TestArithmetic:
+    def test_add_types_must_match(self, func_and_builder):
+        f, b = func_and_builder
+        with pytest.raises(TypeError):
+            b.add(f.args[0], b.i64(1))
+
+    def test_int_op_rejects_floats(self, func_and_builder):
+        f, b = func_and_builder
+        with pytest.raises(TypeError):
+            b.add(f.args[2], b.f64(1.0))
+
+    def test_float_op_rejects_ints(self, func_and_builder):
+        f, b = func_and_builder
+        with pytest.raises(TypeError):
+            b.fadd(f.args[0], f.args[1])
+
+    def test_result_types(self, func_and_builder):
+        f, b = func_and_builder
+        assert b.add(f.args[0], f.args[1]).type == I32
+        assert b.fmul(f.args[2], b.f64(2.0)).type == F64
+
+    def test_names_are_fresh(self, func_and_builder):
+        f, b = func_and_builder
+        v1 = b.add(f.args[0], f.args[1])
+        v2 = b.add(v1, f.args[1])
+        assert v1.name != v2.name
+
+
+class TestComparisons:
+    def test_icmp_produces_i1(self, func_and_builder):
+        f, b = func_and_builder
+        assert b.icmp(ICmpPred.SLT, f.args[0], f.args[1]).type == I1
+
+    def test_fcmp_requires_floats(self, func_and_builder):
+        f, b = func_and_builder
+        with pytest.raises(TypeError):
+            b.fcmp(FCmpPred.OLT, f.args[0], f.args[1])
+
+
+class TestCasts:
+    def test_valid_casts(self, func_and_builder):
+        f, b = func_and_builder
+        assert b.sext(f.args[0], I64).type == I64
+        assert b.sitofp(f.args[0], F64).type == F64
+        assert b.fptosi(f.args[2], I32).type == I32
+        assert b.fptrunc(f.args[2]).type == F32
+
+    def test_zext_must_widen(self, func_and_builder):
+        f, b = func_and_builder
+        with pytest.raises(TypeError):
+            b.zext(f.args[0], I32)
+
+    def test_trunc_must_narrow(self, func_and_builder):
+        f, b = func_and_builder
+        with pytest.raises(TypeError):
+            b.trunc(f.args[0], I64)
+
+
+class TestMemoryAndControl:
+    def test_store_requires_pointer(self, func_and_builder):
+        f, b = func_and_builder
+        with pytest.raises(TypeError):
+            b.store(f.args[0], f.args[1])
+
+    def test_alloca_load_store(self, func_and_builder):
+        f, b = func_and_builder
+        slot = b.alloca(I32)
+        b.store(f.args[0], slot)
+        v = b.load(I32, slot)
+        assert v.type == I32
+
+    def test_gep_checks(self, func_and_builder):
+        f, b = func_and_builder
+        slot = b.alloca(I32, 4)
+        gep = b.gep(slot, f.args[0], 4)
+        assert gep.type.is_ptr
+        with pytest.raises(ValueError):
+            b.gep(slot, f.args[0], 0)
+        with pytest.raises(TypeError):
+            b.gep(f.args[0], f.args[1], 4)
+
+    def test_condbr_requires_i1(self, func_and_builder):
+        f, b = func_and_builder
+        other = f.add_block("other")
+        with pytest.raises(TypeError):
+            b.condbr(f.args[0], other, other)
+
+    def test_cannot_append_after_terminator(self, func_and_builder):
+        f, b = func_and_builder
+        b.ret(f.args[0])
+        with pytest.raises(ValueError):
+            b.add(f.args[0], f.args[1])
+
+    def test_select_arms_must_match(self, func_and_builder):
+        f, b = func_and_builder
+        cond = b.icmp(ICmpPred.EQ, f.args[0], f.args[1])
+        with pytest.raises(TypeError):
+            b.select(cond, f.args[0], f.args[2])
+
+    def test_call_arity_and_types(self, func_and_builder):
+        f, b = func_and_builder
+        m = f.parent
+        callee = m.declare_function("g", I32, [("x", I32)])
+        with pytest.raises(TypeError):
+            b.call(callee, [])
+        with pytest.raises(TypeError):
+            b.call(callee, [f.args[2]])
+        call = b.call(callee, [f.args[0]])
+        assert call.type == I32
+
+    def test_intrinsic_call_checked(self, func_and_builder):
+        f, b = func_and_builder
+        with pytest.raises(TypeError):
+            b.call("sqrt", [f.args[0]])  # sqrt takes f64
+        call = b.call("sqrt", [f.args[2]])
+        assert call.type == F64
+
+    def test_complete_function_verifies(self, func_and_builder):
+        f, b = func_and_builder
+        s = b.add(f.args[0], f.args[1])
+        b.ret(s)
+        verify_function(f)
+
+
+class TestConstants:
+    def test_constant_wrapping(self):
+        c = Constant(I32, 2**31)
+        assert c.value == -(2**31)
+
+    def test_constant_equality_and_hash(self):
+        assert Constant(I32, 5) == Constant(I32, 5)
+        assert Constant(I32, 5) != Constant(I64, 5)
+        assert Constant(F64, 0.0) != Constant(I32, 0)
+        assert hash(Constant(I32, 5)) == hash(Constant(I32, 5))
+
+    def test_phi_incoming_type_checked(self, func_and_builder):
+        f, b = func_and_builder
+        phi = b.phi(I32)
+        with pytest.raises(TypeError):
+            phi.add_incoming(b.f64(1.0), f.entry)

@@ -1,0 +1,132 @@
+"""Tests for CFG analyses: RPO, dominators, loops."""
+
+import pytest
+
+from repro.ir import I32, IRBuilder, Module
+from repro.ir.cfg import ControlFlowInfo, reverse_postorder
+from repro.ir.opcodes import ICmpPred
+
+from conftest import build_sumsq_module
+
+
+def _loop_func():
+    """entry -> loop <-> body; loop -> done (the sumsq shape)."""
+    module = build_sumsq_module()
+    return module.function("sumsq")
+
+
+class TestReversePostorder:
+    def test_entry_first(self):
+        f = _loop_func()
+        rpo = reverse_postorder(f)
+        assert rpo[0] is f.entry
+
+    def test_all_reachable_blocks_included(self):
+        f = _loop_func()
+        assert {b.name for b in reverse_postorder(f)} == {
+            "entry",
+            "loop",
+            "body",
+            "done",
+        }
+
+    def test_unreachable_excluded(self):
+        f = _loop_func()
+        dead = f.add_block("dead")
+        IRBuilder(dead).br(dead)
+        names = {b.name for b in reverse_postorder(f)}
+        assert "dead" not in names
+
+    def test_rpo_respects_edges_for_dags(self):
+        m = Module("t")
+        f = m.declare_function("f", I32, [("a", I32)])
+        e = f.add_block("e")
+        l = f.add_block("l")
+        r = f.add_block("r")
+        j = f.add_block("j")
+        b = IRBuilder(e)
+        c = b.icmp(ICmpPred.SGT, f.args[0], b.i32(0))
+        b.condbr(c, l, r)
+        IRBuilder(l).br(j)
+        IRBuilder(r).br(j)
+        IRBuilder(j).ret(f.args[0])
+        rpo = reverse_postorder(f)
+        pos = {blk.name: i for i, blk in enumerate(rpo)}
+        assert pos["e"] < pos["l"] and pos["e"] < pos["r"]
+        assert pos["l"] < pos["j"] and pos["r"] < pos["j"]
+
+
+class TestDominators:
+    def test_entry_dominates_all(self):
+        f = _loop_func()
+        cfg = ControlFlowInfo(f)
+        for block in f.blocks:
+            assert cfg.dominates(f.entry, block)
+
+    def test_dominates_is_reflexive(self):
+        f = _loop_func()
+        cfg = ControlFlowInfo(f)
+        for block in f.blocks:
+            assert cfg.dominates(block, block)
+
+    def test_loop_header_dominates_body(self):
+        f = _loop_func()
+        cfg = ControlFlowInfo(f)
+        loop = f.block_named("loop")
+        body = f.block_named("body")
+        done = f.block_named("done")
+        assert cfg.dominates(loop, body)
+        assert cfg.dominates(loop, done)
+        assert not cfg.dominates(body, done)
+
+    def test_immediate_dominators(self):
+        f = _loop_func()
+        cfg = ControlFlowInfo(f)
+        assert cfg.immediate_dominator(f.entry) is None
+        assert cfg.immediate_dominator(f.block_named("loop")) is f.entry
+        assert cfg.immediate_dominator(f.block_named("body")).name == "loop"
+        assert cfg.immediate_dominator(f.block_named("done")).name == "loop"
+
+    def test_predecessors(self):
+        f = _loop_func()
+        cfg = ControlFlowInfo(f)
+        preds = {b.name for b in cfg.predecessors(f.block_named("loop"))}
+        assert preds == {"entry", "body"}
+
+
+class TestLoops:
+    def test_natural_loop_found(self):
+        f = _loop_func()
+        cfg = ControlFlowInfo(f)
+        assert len(cfg.loops) == 1
+        loop = cfg.loops[0]
+        assert loop.header.name == "loop"
+        assert {b.name for b in loop.members} == {"loop", "body"}
+
+    def test_loop_depth(self):
+        f = _loop_func()
+        cfg = ControlFlowInfo(f)
+        assert cfg.loop_depth(f.block_named("body")) == 1
+        assert cfg.loop_depth(f.block_named("done")) == 0
+
+    def test_nested_loops(self):
+        src = """
+int main() {
+    int acc = 0;
+    for (int i = 0; i < 4; i++)
+        for (int j = 0; j < 4; j++)
+            acc += i * j;
+    return acc;
+}
+"""
+        from repro.frontend import compile_source
+
+        # opt level 0 keeps the loop structure untouched
+        module = compile_source(src, "nested", opt_level=0).module
+        f = module.function("main")
+        cfg = ControlFlowInfo(f)
+        assert len(cfg.loops) == 2
+        depths = sorted(len(l.members) for l in cfg.loops)
+        assert depths[0] < depths[1]  # inner loop smaller than outer
+        inner = min(cfg.loops, key=lambda l: len(l.members))
+        assert cfg.loop_depth(inner.header) == 2

@@ -1,0 +1,135 @@
+"""Tests for the IR printer/parser round trip."""
+
+import pytest
+
+from hypothesis import given, settings, strategies as st
+
+from repro.frontend import compile_source
+from repro.ir import IrParseError, parse_module, print_module, verify_module
+from repro.vm import Interpreter
+
+from conftest import build_sumsq_module
+
+
+def round_trip(module):
+    text1 = print_module(module)
+    module2 = parse_module(text1)
+    verify_module(module2)
+    text2 = print_module(module2)
+    return module2, text1, text2
+
+
+class TestRoundTrip:
+    def test_handbuilt_module(self):
+        module = build_sumsq_module()
+        m2, t1, t2 = round_trip(module)
+        assert t1 == t2
+        assert Interpreter(m2).run("sumsq", [10]).return_value == 285
+
+    def test_optimized_module(self):
+        module = build_sumsq_module()
+        from repro.ir.passes import standard_pipeline
+
+        standard_pipeline(2).run(module)
+        m2, t1, t2 = round_trip(module)
+        assert t1 == t2
+        assert Interpreter(m2).run("sumsq", [7]).return_value == 91
+
+    def test_full_language_features(self):
+        src = """
+double table[3] = {0.5, 1.5, -2.5};
+int flag = 1;
+double mix(double x, int k) {
+    if (k > 0 && x > 0.0) return x * table[k % 3];
+    return -x;
+}
+int main() {
+    double acc = 0.0;
+    for (int i = 0; i < 6; i++) acc += mix((double)i, i);
+    print_f64(acc);
+    long wide = 5000000000;
+    print_i64(wide / 2);
+    return (int)acc;
+}
+"""
+        module = compile_source(src, "features").module
+        m2, t1, t2 = round_trip(module)
+        assert t1 == t2
+        assert (
+            Interpreter(m2).run("main").output
+            == Interpreter(module).run("main").output
+        )
+
+    def test_app_module_round_trips(self):
+        from repro.apps import compile_app, get_app
+
+        module = compile_app(get_app("sor")).module
+        m2, t1, t2 = round_trip(module)
+        assert t1 == t2
+        r1 = Interpreter(module, dataset_size=10).run("main")
+        r2 = Interpreter(m2, dataset_size=10).run("main")
+        assert r1.output == r2.output
+
+    def test_patched_module_round_trips(self, fp_kernel_profile):
+        from repro.ise import CandidateSearch
+        from repro.vm.patcher import BinaryPatcher
+
+        module, profile, _ = fp_kernel_profile
+        search = CandidateSearch().run(module, profile)
+        BinaryPatcher().patch_module(module, search.candidates())
+        m2, t1, t2 = round_trip(module)
+        assert t1 == t2
+        assert "custom f64 #" in t1
+
+
+class TestErrors:
+    def test_missing_module_header(self):
+        with pytest.raises(IrParseError, match="module"):
+            parse_module("define i32 @f() {\nentry:\n  ret i32 0\n}")
+
+    def test_bad_global(self):
+        with pytest.raises(IrParseError, match="bad global"):
+            parse_module("; module m\n@x = global banana")
+
+    def test_undefined_value(self):
+        text = """; module m
+
+define i32 @f(i32 %a) {
+entry:
+  ret i32 %ghost
+}"""
+        with pytest.raises(IrParseError, match="undefined value"):
+            parse_module(text)
+
+    def test_instruction_outside_block(self):
+        text = """; module m
+
+define i32 @f(i32 %a) {
+  ret i32 %a
+}"""
+        with pytest.raises(IrParseError, match="outside block"):
+            parse_module(text)
+
+
+@st.composite
+def expr_source(draw):
+    ops = ["+", "-", "*", "&", "|", "^"]
+    expr = "a"
+    for _ in range(draw(st.integers(min_value=1, max_value=4))):
+        op = draw(st.sampled_from(ops))
+        term = draw(st.sampled_from(["a", "b", "3", "17"]))
+        expr = f"({expr} {op} {term})"
+    return f"int f(int a, int b) {{ return {expr}; }}\nint main() {{ return f(3, 4); }}"
+
+
+class TestRoundTripProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(src=expr_source())
+    def test_random_programs_round_trip(self, src):
+        module = compile_source(src, "prop").module
+        m2, t1, t2 = round_trip(module)
+        assert t1 == t2
+        assert (
+            Interpreter(m2).run("main").return_value
+            == Interpreter(module).run("main").return_value
+        )

@@ -1,0 +1,97 @@
+"""Tests for the IR type system."""
+
+import pytest
+
+from repro.ir.types import (
+    F32,
+    F64,
+    I1,
+    I8,
+    I16,
+    I32,
+    I64,
+    PTR,
+    VOID,
+    int_max_signed,
+    int_min,
+    to_unsigned,
+    type_from_name,
+    wrap_int,
+)
+
+
+class TestTypepredicates:
+    def test_kinds(self):
+        assert VOID.is_void and not VOID.is_int
+        assert I32.is_int and not I32.is_float
+        assert F64.is_float and not F64.is_int
+        assert PTR.is_ptr
+
+    def test_bool_detection(self):
+        assert I1.is_bool
+        assert not I8.is_bool
+
+    def test_sizes(self):
+        assert I1.size_bytes == 1
+        assert I8.size_bytes == 1
+        assert I16.size_bytes == 2
+        assert I32.size_bytes == 4
+        assert I64.size_bytes == 8
+        assert F32.size_bytes == 4
+        assert F64.size_bytes == 8
+        assert PTR.size_bytes == 8
+
+    def test_void_has_no_size(self):
+        with pytest.raises(ValueError):
+            VOID.size_bytes
+
+    def test_names(self):
+        assert str(I32) == "i32"
+        assert str(F64) == "f64"
+        assert str(PTR) == "ptr"
+        assert str(VOID) == "void"
+
+    def test_lookup_by_name(self):
+        for ty in (VOID, I1, I8, I16, I32, I64, F32, F64, PTR):
+            assert type_from_name(str(ty)) == ty
+
+    def test_lookup_unknown(self):
+        with pytest.raises(ValueError):
+            type_from_name("i128")
+
+
+class TestWrapping:
+    def test_wrap_positive_overflow(self):
+        assert wrap_int(2**31, I32) == -(2**31)
+
+    def test_wrap_negative(self):
+        assert wrap_int(-1, I32) == -1
+        assert wrap_int(-(2**31) - 1, I32) == 2**31 - 1
+
+    def test_wrap_identity_in_range(self):
+        for v in (-(2**31), -1, 0, 1, 2**31 - 1):
+            assert wrap_int(v, I32) == v
+
+    def test_wrap_i8(self):
+        assert wrap_int(128, I8) == -128
+        assert wrap_int(255, I8) == -1
+
+    def test_wrap_i1(self):
+        assert wrap_int(1, I1) == 1
+        assert wrap_int(2, I1) == 0
+
+    def test_to_unsigned(self):
+        assert to_unsigned(-1, I32) == 2**32 - 1
+        assert to_unsigned(5, I32) == 5
+        assert to_unsigned(-1, I8) == 255
+
+    def test_limits(self):
+        assert int_min(I32) == -(2**31)
+        assert int_max_signed(I32) == 2**31 - 1
+        assert int_min(I8) == -128
+
+    def test_wrap_rejects_floats_types(self):
+        with pytest.raises(ValueError):
+            wrap_int(1, F64)
+        with pytest.raises(ValueError):
+            to_unsigned(1, F32)

@@ -1,0 +1,197 @@
+"""Unit tests for smaller corners: intrinsic edge cases, printer formats,
+CAD project/DRC errors, device geometry."""
+
+import math
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.vm import Interpreter
+
+from conftest import run_main
+
+
+class TestIntrinsicEdgeCases:
+    def test_exp_overflow_clamps_to_inf(self):
+        r = run_main("int main() { print_f64(exp(1000.0)); return 0; }")
+        assert math.isinf(r.output[0]) and r.output[0] > 0
+
+    def test_log_of_zero_and_negative(self):
+        r = run_main(
+            "int main() { print_f64(log(0.0)); print_f64(log(-1.0)); return 0; }"
+        )
+        assert math.isinf(r.output[0]) and r.output[0] < 0
+        assert math.isnan(r.output[1])
+
+    def test_sqrt_negative_is_nan(self):
+        r = run_main("int main() { print_f64(sqrt(-4.0)); return 0; }")
+        assert math.isnan(r.output[0])
+
+    def test_pow(self):
+        r = run_main("int main() { print_f64(pow(2.0, 10.0)); return 0; }")
+        assert r.output[0] == 1024.0
+
+    def test_int_helpers(self):
+        r = run_main(
+            "int main() { print_i32(abs(-7)); print_i32(min(3, -2)); "
+            "print_i32(max(3, -2)); return 0; }"
+        )
+        assert r.output == [7, -2, 3]
+
+    def test_floor_ceil(self):
+        r = run_main(
+            "int main() { print_f64(floor(2.7)); print_f64(ceil(-2.7)); return 0; }"
+        )
+        assert r.output == [2.0, -2.0]
+
+    def test_clock_monotone(self):
+        src = """
+int main() {
+    long t0 = clock();
+    int acc = 0;
+    for (int i = 0; i < 100; i++) acc += i;
+    long t1 = clock();
+    print_i32(t1 > t0 ? 1 : 0);
+    return acc;
+}
+"""
+        assert run_main(src).output[0] == 1
+
+    def test_rand_range(self):
+        src = """
+int main() {
+    srand(5);
+    int ok = 1;
+    for (int i = 0; i < 200; i++) {
+        int r = rand();
+        if (r < 0) ok = 0;
+    }
+    print_i32(ok);
+    return 0;
+}
+"""
+        assert run_main(src).output[0] == 1
+
+
+class TestPrinterFormats:
+    def test_instruction_formats(self):
+        from repro.ir import print_function
+
+        src = """
+double g = 2.5;
+double f(double x, int k) {
+    double v = x * g;
+    if (k > 0) v = v + 1.0;
+    return v;
+}
+int main() { print_f64(f(1.0, 2)); return 0; }
+"""
+        module = compile_source(src, "fmt", opt_level=1).module
+        text = print_function(module.function("f"))
+        assert "define f64 @f(f64 %x, i32 %k)" in text
+        assert "fmul" in text
+        assert "load f64, ptr @g" in text
+        assert "icmp sgt" in text
+        assert "condbr" in text
+        assert "phi f64" in text or "fadd" in text
+        assert text.strip().endswith("}")
+
+    def test_module_header_and_globals(self):
+        from repro.ir import print_module
+
+        src = "int xs[3] = {1, 2, 3};\nint main() { return xs[0]; }"
+        module = compile_source(src, "hdr").module
+        text = print_module(module)
+        assert text.startswith("; module hdr")
+        assert "@xs = global i32 x 3 init [1, 2, 3]" in text
+
+
+class TestCadProjectAndDrc:
+    def test_duplicate_vhdl_rejected(self):
+        from repro.fpga import CadProject
+
+        project = CadProject(name="p")
+        project.add_vhdl("a.vhd", "-- x")
+        with pytest.raises(ValueError, match="duplicate"):
+            project.add_vhdl("a.vhd", "-- y")
+
+    def test_defaults_configured(self):
+        from repro.fpga import CadProject
+
+        project = CadProject(name="p")
+        project.configure_defaults()
+        assert project.settings["family"] == "virtex4"
+        assert project.settings["flow"] == "eapr"
+
+    def test_multiple_driver_drc(self):
+        from repro.fpga import Translator, VIRTEX4_FX100
+        from repro.fpga.synthesis import SynthesizedDesign
+        from repro.fpga.translate import TranslateError
+        from repro.pivpav.netlist import Netlist
+
+        nl = Netlist("bad")
+        a = nl.add_primitive("LUT4")
+        b = nl.add_primitive("LUT4")
+        nl.connect("contested", a, 4)  # LUT output pin
+        nl.connect("contested", b, 4)  # second driver!
+        design = SynthesizedDesign(netlist=nl, instance_count=0, glue_luts=2)
+        with pytest.raises(TranslateError, match="drivers"):
+            Translator().translate(design, VIRTEX4_FX100)
+
+    def test_constraints_reference_region(self):
+        from repro.fpga import Translator, VIRTEX4_FX100
+        from repro.fpga.synthesis import SynthesizedDesign
+        from repro.pivpav.netlist import Netlist
+
+        nl = Netlist("ok")
+        a = nl.add_primitive("LUT4")
+        nl.connect("n0", a, 4)
+        design = SynthesizedDesign(netlist=nl, instance_count=0, glue_luts=1)
+        db = Translator().translate(design, VIRTEX4_FX100)
+        assert db.constraints["AREA_GROUP"] == "ci_region"
+        assert db.constraints["MODE"] == "RECONFIG"
+
+
+class TestDeviceGeometry:
+    def test_fx100_capacity(self):
+        from repro.fpga import VIRTEX4_FX100
+
+        dev = VIRTEX4_FX100
+        assert dev.total_luts == dev.clb_cols * dev.clb_rows * 8
+        assert dev.region.cell_capacity == (
+            dev.region.cols * dev.region.rows * dev.region.cells_per_clb
+        )
+
+    def test_partial_smaller_than_full(self):
+        from repro.fpga import VIRTEX4_FX100
+
+        dev = VIRTEX4_FX100
+        assert dev.partial_bitstream_bytes() < dev.full_bitstream_bytes()
+
+    def test_fx20_smaller_than_fx100(self):
+        from repro.fpga import VIRTEX4_FX100
+        from repro.fpga.device import VIRTEX4_FX20
+
+        assert VIRTEX4_FX20.total_luts < VIRTEX4_FX100.total_luts
+        assert (
+            VIRTEX4_FX20.partial_bitstream_bytes()
+            < VIRTEX4_FX100.partial_bitstream_bytes()
+        )
+
+
+class TestAppsBase:
+    def test_compile_app_fresh_modules(self):
+        from repro.apps import compile_app, get_app
+
+        a = compile_app(get_app("sor"))
+        b = compile_app(get_app("sor"))
+        assert a.module is not b.module  # callers may patch modules
+
+    def test_run_accepts_dataset_name_or_spec(self):
+        from repro.apps import compile_app, get_app
+
+        app = get_app("sor")
+        compiled = compile_app(app)
+        r1 = compiled.run("small")
+        r2 = compiled.run(app.dataset("small"))
+        assert r1.output == r2.output

@@ -1,0 +1,131 @@
+"""Tests for constant folding and algebraic simplification."""
+
+import math
+
+import pytest
+
+from repro.ir import I32, I64, F64, IRBuilder, Module
+from repro.ir.opcodes import FCmpPred, ICmpPred, Opcode
+from repro.ir.passes import ConstantFoldPass
+from repro.ir.passes.constfold import (
+    ConstantFoldError,
+    fold_binary,
+    fold_cast,
+    fold_fcmp,
+    fold_icmp,
+)
+from repro.ir.types import I1, I8
+from repro.ir.values import Constant
+
+
+class TestFoldBinary:
+    def test_add_wraps(self):
+        assert fold_binary(Opcode.ADD, I32, 2**31 - 1, 1) == -(2**31)
+
+    def test_sdiv_truncates_toward_zero(self):
+        assert fold_binary(Opcode.SDIV, I32, -7, 2) == -3
+        assert fold_binary(Opcode.SDIV, I32, 7, -2) == -3
+
+    def test_srem_sign_follows_dividend(self):
+        assert fold_binary(Opcode.SREM, I32, -7, 3) == -1
+        assert fold_binary(Opcode.SREM, I32, 7, -3) == 1
+
+    def test_udiv_unsigned(self):
+        assert fold_binary(Opcode.UDIV, I32, -1, 2) == (2**32 - 1) // 2
+
+    def test_div_by_zero_raises(self):
+        for op in (Opcode.SDIV, Opcode.UDIV, Opcode.SREM, Opcode.UREM):
+            with pytest.raises(ConstantFoldError):
+                fold_binary(op, I32, 1, 0)
+
+    def test_shifts(self):
+        assert fold_binary(Opcode.SHL, I32, 1, 31) == -(2**31)
+        assert fold_binary(Opcode.LSHR, I32, -1, 28) == 0xF
+        assert fold_binary(Opcode.ASHR, I32, -16, 2) == -4
+
+    def test_shift_amount_wraps_at_width(self):
+        assert fold_binary(Opcode.SHL, I32, 1, 32) == 1  # 32 % 32 == 0
+
+    def test_float_ops(self):
+        assert fold_binary(Opcode.FADD, F64, 0.5, 0.25) == 0.75
+        assert fold_binary(Opcode.FDIV, F64, 1.0, 0.0) == math.inf
+        assert math.isnan(fold_binary(Opcode.FREM, F64, 1.0, 0.0))
+
+    def test_fold_icmp_signed_vs_unsigned(self):
+        assert fold_icmp(ICmpPred.SLT, I32, -1, 0) == 1
+        assert fold_icmp(ICmpPred.ULT, I32, -1, 0) == 0  # -1 is max unsigned
+
+    def test_fold_fcmp_nan_ordered_false(self):
+        assert fold_fcmp(FCmpPred.OEQ, math.nan, math.nan) == 0
+        assert fold_fcmp(FCmpPred.OLE, math.nan, 0.0) == 0
+
+    def test_fold_casts(self):
+        assert fold_cast(Opcode.SEXT, I8, I32, -5) == -5
+        assert fold_cast(Opcode.ZEXT, I8, I32, -1) == 255
+        assert fold_cast(Opcode.TRUNC, I32, I8, 257) == 1
+        assert fold_cast(Opcode.FPTOSI, F64, I32, 2.9) == 2
+        assert fold_cast(Opcode.FPTOSI, F64, I32, -2.9) == -2
+        assert fold_cast(Opcode.SITOFP, I32, F64, 3) == 3.0
+
+    def test_fptrunc_loses_precision(self):
+        narrowed = fold_cast(Opcode.FPTRUNC, F64, F64, 1.0000000001)
+        assert narrowed == pytest.approx(1.0)
+
+
+def _func_with(expr_builder):
+    m = Module("t")
+    f = m.declare_function("f", I32, [("a", I32)])
+    entry = f.add_block("entry")
+    b = IRBuilder(entry)
+    result = expr_builder(f, b)
+    b.ret(result)
+    return m, f
+
+
+class TestPassBehaviour:
+    def test_folds_constant_tree(self):
+        m, f = _func_with(
+            lambda f, b: b.mul(b.add(b.i32(2), b.i32(3)), b.i32(4))
+        )
+        ConstantFoldPass().run(m)
+        ret = f.entry.terminator
+        assert isinstance(ret.operands[0], Constant)
+        assert ret.operands[0].value == 20
+
+    def test_x_plus_zero(self):
+        m, f = _func_with(lambda f, b: b.add(f.args[0], b.i32(0)))
+        ConstantFoldPass().run(m)
+        assert f.entry.terminator.operands[0] is f.args[0]
+
+    def test_x_times_zero(self):
+        m, f = _func_with(lambda f, b: b.mul(f.args[0], b.i32(0)))
+        ConstantFoldPass().run(m)
+        op = f.entry.terminator.operands[0]
+        assert isinstance(op, Constant) and op.value == 0
+
+    def test_x_minus_x(self):
+        m, f = _func_with(lambda f, b: b.sub(f.args[0], f.args[0]))
+        ConstantFoldPass().run(m)
+        op = f.entry.terminator.operands[0]
+        assert isinstance(op, Constant) and op.value == 0
+
+    def test_div_by_zero_not_folded(self):
+        m, f = _func_with(lambda f, b: b.sdiv(b.i32(1), b.i32(0)))
+        ConstantFoldPass().run(m)
+        # the trapping division must survive
+        assert any(i.opcode is Opcode.SDIV for i in f.instructions())
+
+    def test_select_on_constant(self):
+        m, f = _func_with(
+            lambda f, b: b.select(b.true(), f.args[0], b.i32(9))
+        )
+        ConstantFoldPass().run(m)
+        assert f.entry.terminator.operands[0] is f.args[0]
+
+    def test_fadd_zero_preserved_value(self):
+        m = Module("t")
+        f = m.declare_function("f", F64, [("x", F64)])
+        b = IRBuilder(f.add_block("entry"))
+        b.ret(b.fadd(f.args[0], b.f64(0.0)))
+        ConstantFoldPass().run(m)
+        assert f.entry.terminator.operands[0] is f.args[0]

@@ -1,0 +1,155 @@
+"""Tests for LICM and inlining."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.ir import I32, IRBuilder, Module, verify_function, verify_module
+from repro.ir.cfg import ControlFlowInfo
+from repro.ir.opcodes import ICmpPred, Opcode
+from repro.ir.passes import (
+    InlinePass,
+    LoopInvariantCodeMotionPass,
+    Mem2RegPass,
+    SimplifyCfgPass,
+)
+from repro.vm import Interpreter
+
+
+def _loop_with_invariant():
+    """for (i=0..n) acc += (a*b) + i; with a*b loop-invariant."""
+    m = Module("t")
+    f = m.declare_function("f", I32, [("n", I32), ("a", I32), ("b", I32)])
+    entry = f.add_block("entry")
+    cond = f.add_block("cond")
+    body = f.add_block("body")
+    done = f.add_block("done")
+    bl = IRBuilder(entry)
+    bl.br(cond)
+    bl.set_block(cond)
+    i_phi = bl.phi(I32, "i")
+    acc_phi = bl.phi(I32, "acc")
+    c = bl.icmp(ICmpPred.SLT, i_phi, f.args[0])
+    bl.condbr(c, body, done)
+    bl.set_block(body)
+    inv = bl.mul(f.args[1], f.args[2])  # loop invariant
+    acc2 = bl.add(acc_phi, bl.add(inv, i_phi))
+    i2 = bl.add(i_phi, bl.i32(1))
+    bl.br(cond)
+    bl.set_block(done)
+    bl.ret(acc_phi)
+    i_phi.add_incoming(bl.i32(0), entry)
+    i_phi.add_incoming(i2, body)
+    acc_phi.add_incoming(bl.i32(0), entry)
+    acc_phi.add_incoming(acc2, body)
+    verify_function(f)
+    return m, f
+
+
+class TestLicm:
+    def test_invariant_hoisted_to_preheader(self):
+        m, f = _loop_with_invariant()
+        changed = LoopInvariantCodeMotionPass().run(m)
+        assert changed
+        verify_function(f)
+        entry_ops = [i.opcode for i in f.block_named("entry").instructions]
+        assert Opcode.MUL in entry_ops
+        body_ops = [i.opcode for i in f.block_named("body").instructions]
+        assert Opcode.MUL not in body_ops
+
+    def test_semantics_preserved(self):
+        m, f = _loop_with_invariant()
+        before = Interpreter(m).run("f", [5, 3, 4]).return_value
+        LoopInvariantCodeMotionPass().run(m)
+        after = Interpreter(m).run("f", [5, 3, 4]).return_value
+        assert before == after == 5 * 12 + sum(range(5))
+
+    def test_variant_not_hoisted(self):
+        m, f = _loop_with_invariant()
+        LoopInvariantCodeMotionPass().run(m)
+        body_ops = [i.opcode for i in f.block_named("body").instructions]
+        # the adds involving phis must stay in the loop
+        assert body_ops.count(Opcode.ADD) == 3
+
+    def test_division_never_hoisted(self):
+        src = """
+int main() {
+    int acc = 0;
+    int d = dataset_size();
+    for (int i = 0; i < 4; i++) {
+        if (d != 0) acc += 100 / d;
+    }
+    return acc;
+}
+"""
+        module = compile_source(src, "divguard").module
+        # run with d == 0: a hoisted division would trap
+        result = Interpreter(module, dataset_size=0).run("main")
+        assert result.return_value == 0
+
+
+class TestInline:
+    def test_small_callee_inlined(self):
+        src = """
+int sq(int x) { return x * x; }
+int main() { return sq(5) + sq(6); }
+"""
+        module = compile_source(src, "inl", opt_level=0).module
+        InlinePass().run(module)
+        verify_module(module)
+        main = module.function("main")
+        assert all(i.opcode is not Opcode.CALL for i in main.instructions())
+        assert Interpreter(module).run("main").return_value == 61
+
+    def test_recursive_not_inlined(self):
+        src = """
+int fact(int n) { if (n < 2) return 1; return n * fact(n - 1); }
+int main() { return fact(5); }
+"""
+        module = compile_source(src, "rec", opt_level=0).module
+        InlinePass().run(module)
+        verify_module(module)
+        fact = module.function("fact")
+        assert any(i.opcode is Opcode.CALL for i in fact.instructions())
+        assert Interpreter(module).run("main").return_value == 120
+
+    def test_large_callee_not_inlined(self):
+        body = "\n".join(f"    acc += x * {i};" for i in range(40))
+        src = f"""
+int big(int x) {{
+    int acc = 0;
+{body}
+    return acc;
+}}
+int main() {{ return big(2); }}
+"""
+        module = compile_source(src, "big", opt_level=0).module
+        InlinePass(size_threshold=20).run(module)
+        main = module.function("main")
+        assert any(i.opcode is Opcode.CALL for i in main.instructions())
+
+    def test_multiple_returns_merge_through_phi(self):
+        src = """
+int pick(int x) {
+    if (x > 0) return 1;
+    return 2;
+}
+int main() { return pick(3) * 10 + pick(-3); }
+"""
+        module = compile_source(src, "multi", opt_level=0).module
+        InlinePass().run(module)
+        verify_module(module)
+        assert Interpreter(module).run("main").return_value == 12
+
+    def test_inlined_loops_preserved(self):
+        src = """
+int tri(int n) {
+    int acc = 0;
+    for (int i = 1; i <= n; i++) acc += i;
+    return acc;
+}
+int main() { return tri(10); }
+"""
+        module = compile_source(src, "loops", opt_level=0).module
+        InlinePass().run(module)
+        verify_module(module)
+        assert Interpreter(module).run("main").return_value == 55

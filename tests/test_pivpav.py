@@ -1,0 +1,157 @@
+"""Tests for the PivPav circuit database, estimator, VHDL generator and
+netlist cache."""
+
+import pytest
+
+from repro.ise import CandidateSearch
+from repro.pivpav import (
+    CircuitDatabase,
+    DatapathGenerator,
+    NetlistCache,
+    PivPavEstimator,
+    core_name_for,
+)
+from repro.pivpav.corelib import CORE_SPECS
+from repro.pivpav.database import default_database
+from repro.pivpav.netlist import NETLIST_SCALE, generate_core_netlist
+
+
+@pytest.fixture
+def selected(fp_kernel_profile):
+    module, profile, _ = fp_kernel_profile
+    return CandidateSearch().run(module, profile).selected
+
+
+class TestDatabase:
+    def test_every_core_has_90_plus_metrics(self):
+        db = CircuitDatabase()
+        for name in db.core_names:
+            rec = db.record(name)
+            assert rec.metrics.metric_count >= 90, name
+
+    def test_metrics_deterministic(self):
+        a = CircuitDatabase().record("fadd_f64").metrics.as_dict()
+        b = CircuitDatabase().record("fadd_f64").metrics.as_dict()
+        assert a == b
+
+    def test_records_cached(self):
+        db = CircuitDatabase()
+        assert db.record("fmul_f64") is db.record("fmul_f64")
+
+    def test_unknown_core_rejected(self):
+        with pytest.raises(KeyError):
+            CircuitDatabase().record("warp_drive")
+
+    def test_core_resolution_for_instructions(self, fp_kernel_profile):
+        module, _, _ = fp_kernel_profile
+        from repro.ise.feasibility import is_feasible_instruction
+
+        for func in module.defined_functions():
+            for block in func.blocks:
+                for instr in block.instructions:
+                    if is_feasible_instruction(instr) and instr.has_result:
+                        name = core_name_for(instr)
+                        assert name in CORE_SPECS
+
+    def test_fp64_larger_than_fp32(self):
+        db = default_database()
+        assert (
+            db.record("fadd_f64").spec.luts > db.record("fadd_f32").spec.luts
+        )
+
+    def test_netlist_scaled_from_area(self):
+        db = CircuitDatabase()
+        rec = db.record("fdiv_f64")
+        assert rec.netlist.count("LUT4") == max(1, rec.spec.luts // NETLIST_SCALE)
+        assert rec.netlist.count("DSP48") == rec.spec.dsp48
+
+
+class TestEstimator:
+    def test_fp_candidates_profitable(self, selected):
+        assert any(est.cycles_saved > 0 for est in selected)
+
+    def test_hw_cycles_includes_transfer_floor(self, selected):
+        for est in selected:
+            assert est.hw_cycles >= 1 + 1  # decode + at least the exec cycle
+
+    def test_latency_positive(self, selected):
+        for est in selected:
+            assert est.hw_latency_ns > 0
+
+    def test_area_aggregation(self, selected):
+        db = default_database()
+        est = selected[0]
+        manual = sum(db.record_for(n).spec.luts for n in est.candidate.nodes)
+        assert est.luts == manual
+
+    def test_local_speedup_consistent(self, selected):
+        est = selected[0]
+        assert est.local_speedup == pytest.approx(est.sw_cycles / est.hw_cycles)
+
+
+class TestVhdlGenerator:
+    def test_generates_parseable_vhdl(self, selected):
+        from repro.fpga.syntax import VhdlSyntaxChecker
+
+        gen = DatapathGenerator()
+        for est in selected:
+            vhdl = gen.generate(est.candidate)
+            design = VhdlSyntaxChecker().check(vhdl.source)
+            assert design.entity == vhdl.entity_name
+            assert len(design.instances) == est.candidate.size
+
+    def test_ports_match_candidate_interface(self, selected):
+        gen = DatapathGenerator()
+        est = selected[0]
+        vhdl = gen.generate(est.candidate)
+        from repro.fpga.syntax import VhdlSyntaxChecker
+
+        design = VhdlSyntaxChecker().check(vhdl.source)
+        in_ports = [p for p in design.ports if p.direction == "in"]
+        out_ports = [p for p in design.ports if p.direction == "out"]
+        # clk + rst + data inputs
+        assert len(in_ports) == 2 + len(est.candidate.inputs)
+        assert len(out_ports) == len(est.candidate.outputs)
+
+    def test_entity_name_derived_from_signature(self, selected):
+        gen = DatapathGenerator()
+        v1 = gen.generate(selected[0].candidate)
+        v2 = gen.generate(selected[0].candidate)
+        assert v1.entity_name == v2.entity_name
+        assert v1.source == v2.source
+
+    def test_core_names_listed(self, selected):
+        gen = DatapathGenerator()
+        vhdl = gen.generate(selected[0].candidate)
+        assert vhdl.core_names
+        for name in vhdl.core_names:
+            assert name in CORE_SPECS
+
+
+class TestNetlistCache:
+    def test_hits_after_first_extraction(self):
+        cache = NetlistCache()
+        cache.get("fadd_f64")
+        cache.get("fadd_f64")
+        cache.get("fmul_f64")
+        assert cache.hits == 1
+        assert cache.misses == 2
+        assert 0 < cache.hit_rate < 1
+
+    def test_extract_all(self):
+        cache = NetlistCache()
+        out = cache.extract_all(["fadd_f64", "fmul_f64", "fadd_f64"])
+        assert set(out) == {"fadd_f64", "fmul_f64"}
+
+    def test_netlist_generation_deterministic(self):
+        n1 = generate_core_netlist("x", 64, 32, 1, 0)
+        n2 = generate_core_netlist("x", 64, 32, 1, 0)
+        assert [p.kind for p in n1.primitives] == [p.kind for p in n2.primitives]
+        assert n1.nets.keys() == n2.nets.keys()
+
+    def test_netlist_merge_renames(self):
+        a = generate_core_netlist("a", 32, 16, 0, 0)
+        b = generate_core_netlist("b", 32, 16, 0, 0)
+        merged = a.merged_with(b, "u1")
+        assert len(merged.primitives) == len(a.primitives) + len(b.primitives)
+        assert any(n.startswith("u1/") for n in merged.nets)

@@ -1,0 +1,125 @@
+"""Tests for coverage classification and kernel analysis."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.profiling import BlockClass, classify_blocks, compute_kernel
+from repro.vm import Interpreter
+
+SRC = """
+int table[16];
+
+// executes once per run regardless of input (const)
+void setup() {
+    for (int i = 0; i < 16; i++) table[i] = i;
+}
+
+// never called (dead)
+int error_path(int code) { print_i32(code); return -code; }
+
+int main() {
+    int n = dataset_size();
+    if (n < 0) return error_path(1);
+    setup();
+    int acc = 0;
+    for (int i = 0; i < n; i++) acc += table[i & 15];  // live loop
+    return acc;
+}
+"""
+
+
+@pytest.fixture
+def coverage_setup():
+    module = compile_source(SRC, "cov").module
+    p1 = Interpreter(module, dataset_size=10).run("main").profile
+    p2 = Interpreter(module, dataset_size=30).run("main").profile
+    return module, [p1, p2]
+
+
+class TestCoverage:
+    def test_classes_partition_all_blocks(self, coverage_setup):
+        module, profiles = coverage_setup
+        cov = classify_blocks(module, profiles)
+        total_blocks = sum(len(f.blocks) for f in module.defined_functions())
+        assert len(cov.classes) == total_blocks
+
+    def test_dead_function_blocks_are_dead(self, coverage_setup):
+        module, profiles = coverage_setup
+        cov = classify_blocks(module, profiles)
+        for key, cls in cov.classes.items():
+            if key[0] == "error_path":
+                assert cls is BlockClass.DEAD
+
+    def test_const_blocks_exist(self, coverage_setup):
+        # The setup loop runs a fixed 16 iterations regardless of dataset
+        # size (it may have been inlined into main, so look by class, not by
+        # function name).
+        module, profiles = coverage_setup
+        cov = classify_blocks(module, profiles)
+        const_blocks = cov.blocks_of_class(BlockClass.CONST)
+        assert const_blocks
+        for key in const_blocks:
+            counts = [p.count_of(*key) for p in profiles]
+            assert counts[0] == counts[1] > 0
+
+    def test_live_loop_detected(self, coverage_setup):
+        module, profiles = coverage_setup
+        cov = classify_blocks(module, profiles)
+        live = cov.blocks_of_class(BlockClass.LIVE)
+        assert any(key[0] == "main" for key in live)
+
+    def test_percentages_sum_to_100(self, coverage_setup):
+        module, profiles = coverage_setup
+        cov = classify_blocks(module, profiles)
+        assert cov.live_pct + cov.dead_pct + cov.const_pct == pytest.approx(100.0)
+
+    def test_single_profile_all_const_or_dead(self, coverage_setup):
+        module, profiles = coverage_setup
+        cov = classify_blocks(module, [profiles[0]])
+        assert not cov.blocks_of_class(BlockClass.LIVE)
+
+    def test_empty_profile_list_rejected(self, coverage_setup):
+        module, _ = coverage_setup
+        with pytest.raises(ValueError):
+            classify_blocks(module, [])
+
+
+class TestKernel:
+    def test_kernel_covers_at_least_threshold(self, coverage_setup):
+        module, profiles = coverage_setup
+        kern = compute_kernel(module, profiles[1], threshold=0.90)
+        assert kern.time_share >= 0.90
+        assert kern.freq_pct >= 90.0
+
+    def test_kernel_is_minimal_prefix(self, coverage_setup):
+        module, profiles = coverage_setup
+        kern = compute_kernel(module, profiles[1], threshold=0.90)
+        # removing the last (coldest) kernel block must drop below threshold
+        if len(kern.blocks) > 1:
+            smaller = compute_kernel(module, profiles[1], threshold=0.50)
+            assert len(smaller.blocks) <= len(kern.blocks)
+
+    def test_kernel_size_pct_bounds(self, coverage_setup):
+        module, profiles = coverage_setup
+        kern = compute_kernel(module, profiles[1])
+        assert 0.0 < kern.size_pct <= 100.0
+        assert kern.kernel_instructions <= kern.total_instructions
+
+    def test_hot_loop_block_in_kernel(self, coverage_setup):
+        module, profiles = coverage_setup
+        kern = compute_kernel(module, profiles[1])
+        assert any(key[0] == "main" for key in kern.blocks)
+
+    def test_threshold_validation(self, coverage_setup):
+        module, profiles = coverage_setup
+        with pytest.raises(ValueError):
+            compute_kernel(module, profiles[0], threshold=0.0)
+        with pytest.raises(ValueError):
+            compute_kernel(module, profiles[0], threshold=1.5)
+
+    def test_empty_profile_yields_empty_kernel(self, coverage_setup):
+        module, _ = coverage_setup
+        from repro.vm.profiler import ExecutionProfile
+
+        kern = compute_kernel(module, ExecutionProfile("cov"))
+        assert kern.blocks == [] and kern.time_share == 0.0

@@ -1,0 +1,124 @@
+"""Hypothesis property tests on IR semantics and optimizer correctness.
+
+The central invariant: for randomly generated MiniC expression programs,
+the optimized module computes the same result as the unoptimized one, and
+arithmetic matches a Python reference evaluator with C semantics.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.frontend import compile_source
+from repro.ir.opcodes import Opcode
+from repro.ir.types import I32, wrap_int
+from repro.ir.passes.constfold import fold_binary
+from repro.vm import Interpreter
+
+
+ints = st.integers(min_value=-(2**31), max_value=2**31 - 1)
+small_ints = st.integers(min_value=-1000, max_value=1000)
+
+
+class TestFoldMatchesPython:
+    @given(a=ints, b=ints)
+    def test_add_wraps_like_c(self, a, b):
+        assert fold_binary(Opcode.ADD, I32, a, b) == wrap_int(a + b, I32)
+
+    @given(a=ints, b=ints)
+    def test_mul_wraps_like_c(self, a, b):
+        assert fold_binary(Opcode.MUL, I32, a, b) == wrap_int(a * b, I32)
+
+    @given(a=ints, b=ints.filter(lambda v: v != 0))
+    def test_sdiv_truncates(self, a, b):
+        expected = wrap_int(int(a / b), I32)
+        assert fold_binary(Opcode.SDIV, I32, a, b) == expected
+
+    @given(a=ints, b=ints.filter(lambda v: v != 0))
+    def test_div_rem_identity(self, a, b):
+        q = fold_binary(Opcode.SDIV, I32, a, b)
+        r = fold_binary(Opcode.SREM, I32, a, b)
+        assert wrap_int(q * b + r, I32) == wrap_int(a, I32)
+
+    @given(a=ints, b=st.integers(min_value=0, max_value=31))
+    def test_shl_lshr(self, a, b):
+        shifted = fold_binary(Opcode.SHL, I32, a, b)
+        assert shifted == wrap_int(a << b, I32)
+
+
+# -- random expression programs ------------------------------------------------
+@st.composite
+def int_expr(draw, depth=0):
+    """A random MiniC integer expression over variables a, b, c."""
+    if depth >= 3 or draw(st.booleans()):
+        leaf = draw(
+            st.sampled_from(["a", "b", "c", str(draw(small_ints))])
+        )
+        return leaf if not leaf.startswith("-") else f"({leaf})"
+    op = draw(st.sampled_from(["+", "-", "*", "&", "|", "^"]))
+    lhs = draw(int_expr(depth=depth + 1))
+    rhs = draw(int_expr(depth=depth + 1))
+    return f"({lhs} {op} {rhs})"
+
+
+def _reference_eval(expr: str, a: int, b: int, c: int) -> int:
+    value = eval(expr, {}, {"a": a, "b": b, "c": c})  # noqa: S307 - test only
+    return wrap_int(value, I32)
+
+
+class TestOptimizerEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(expr=int_expr(), a=small_ints, b=small_ints, c=small_ints)
+    def test_compiled_matches_reference(self, expr, a, b, c):
+        src = f"""
+int compute(int a, int b, int c) {{ return {expr}; }}
+int main() {{ return 0; }}
+"""
+        module_o2 = compile_source(src, "prop", opt_level=2).module
+        module_o0 = compile_source(src, "prop0", opt_level=0).module
+        r2 = Interpreter(module_o2).run("compute", [a, b, c]).return_value
+        r0 = Interpreter(module_o0).run("compute", [a, b, c]).return_value
+        ref = _reference_eval(expr, a, b, c)
+        assert r0 == ref
+        assert r2 == ref
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(min_value=0, max_value=30),
+        mul=st.integers(min_value=-5, max_value=5),
+        add=st.integers(min_value=-5, max_value=5),
+    )
+    def test_loop_programs_equivalent_across_opt_levels(self, n, mul, add):
+        src = f"""
+int compute(int n) {{
+    int acc = 0;
+    for (int i = 0; i < n; i++) {{
+        acc += i * ({mul}) + ({add});
+        if (acc > 10000) break;
+    }}
+    return acc;
+}}
+int main() {{ return 0; }}
+"""
+        results = []
+        for level in (0, 1, 2):
+            module = compile_source(src, f"lp{level}", opt_level=level).module
+            results.append(Interpreter(module).run("compute", [n]).return_value)
+        assert results[0] == results[1] == results[2]
+
+
+class TestVerifierInvariance:
+    @settings(max_examples=25, deadline=None)
+    @given(expr=int_expr())
+    def test_pipeline_preserves_verification(self, expr):
+        from repro.ir.verifier import verify_module
+
+        src = f"""
+int f(int a, int b, int c) {{ return {expr}; }}
+int g(int a) {{ if (a > 0) return f(a, a, a); return -a; }}
+int main() {{ return g(3); }}
+"""
+        module = compile_source(src, "ver", opt_level=2).module
+        verify_module(module)  # compile_source verifies too; belt and braces

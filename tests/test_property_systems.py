@@ -1,0 +1,181 @@
+"""Hypothesis property tests on ISE, CAD and cost-model invariants."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.frontend import compile_source
+from repro.ise import MaxMisoIdentifier, is_feasible_instruction
+from repro.ir import DataFlowGraph
+from repro.pivpav import PivPavEstimator
+from repro.util.timefmt import format_dhms, parse_hms
+from repro.vm import Interpreter
+from repro.vm.patcher import BinaryPatcher
+from repro.ir.verifier import verify_module
+
+
+@st.composite
+def fp_statements(draw):
+    """1-4 assignment statements over double locals x, y, z."""
+    n = draw(st.integers(min_value=1, max_value=4))
+    stmts = []
+    for _ in range(n):
+        target = draw(st.sampled_from(["x", "y", "z"]))
+        t1 = draw(st.sampled_from(["x", "y", "z", "0.5", "2.0"]))
+        t2 = draw(st.sampled_from(["x", "y", "z", "1.5"]))
+        t3 = draw(st.sampled_from(["x", "y", "z"]))
+        op1 = draw(st.sampled_from(["+", "-", "*"]))
+        op2 = draw(st.sampled_from(["+", "-", "*"]))
+        stmts.append(f"{target} = ({t1} {op1} {t2}) {op2} {t3};")
+    return "\n        ".join(stmts)
+
+
+def _compile_kernel(body: str):
+    src = f"""
+double out = 0.0;
+int main() {{
+    double x = 1.25; double y = -0.75; double z = 0.5;
+    for (int i = 0; i < 40; i++) {{
+        {body}
+        x += 0.001;
+    }}
+    out = x + y + z;
+    print_f64(out);
+    return 0;
+}}
+"""
+    return compile_source(src, "propk").module
+
+
+class TestMaxMisoProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(body=fp_statements())
+    def test_candidates_always_convex_feasible_single_output(self, body):
+        module = _compile_kernel(body)
+        for func in module.defined_functions():
+            for block in func.blocks:
+                for cand in MaxMisoIdentifier().identify_block(
+                    func.name, block
+                ):
+                    assert cand.dfg.is_convex(set(cand.nodes))
+                    assert all(is_feasible_instruction(n) for n in cand.nodes)
+                    assert len(cand.outputs) == 1
+                    assert cand.size >= 2
+
+    @settings(max_examples=25, deadline=None)
+    @given(body=fp_statements())
+    def test_maxmiso_partition_disjoint(self, body):
+        module = _compile_kernel(body)
+        for func in module.defined_functions():
+            for block in func.blocks:
+                seen: set[int] = set()
+                for cand in MaxMisoIdentifier(min_size=1).identify_block(
+                    func.name, block
+                ):
+                    for node in cand.nodes:
+                        assert id(node) not in seen
+                        seen.add(id(node))
+
+    @settings(max_examples=15, deadline=None)
+    @given(body=fp_statements())
+    def test_patched_program_equivalent(self, body):
+        module = _compile_kernel(body)
+        baseline = Interpreter(module).run("main")
+
+        candidates = []
+        for func in module.defined_functions():
+            for block in func.blocks:
+                candidates += MaxMisoIdentifier().identify_block(
+                    func.name, block, len(candidates)
+                )
+        if not candidates:
+            return
+        patcher = BinaryPatcher()
+        patcher.patch_module(module, candidates)
+        verify_module(module)
+        interp = Interpreter(module)
+        patcher.install(interp)
+        patched = interp.run("main")
+        assert len(patched.output) == len(baseline.output)
+        for got, want in zip(patched.output, baseline.output):
+            if isinstance(want, float) and math.isnan(want):
+                assert isinstance(got, float) and math.isnan(got)
+            else:
+                assert got == want
+
+
+class TestEstimatorProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(body=fp_statements())
+    def test_estimates_positive_and_consistent(self, body):
+        module = _compile_kernel(body)
+        estimator = PivPavEstimator()
+        for func in module.defined_functions():
+            for block in func.blocks:
+                for cand in MaxMisoIdentifier().identify_block(
+                    func.name, block
+                ):
+                    est = estimator.estimate(cand)
+                    assert est.sw_cycles > 0
+                    assert est.hw_cycles >= 1
+                    assert est.hw_latency_ns >= 0
+                    assert est.luts >= 0 and est.dsp48 >= 0
+
+
+class TestTimeFormatProperties:
+    @given(seconds=st.integers(min_value=0, max_value=10**7))
+    def test_dhms_round_trip(self, seconds):
+        assert parse_hms(format_dhms(seconds)) == seconds
+
+
+class TestCadTimingProperties:
+    @given(
+        luts=st.integers(min_value=1, max_value=6000),
+        dsps=st.integers(min_value=0, max_value=16),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_stage_times_positive_and_bounded(self, luts, dsps):
+        from repro.fpga import CadTimingModel
+
+        model = CadTimingModel()
+        t = model.stage_times(f"e_{luts}_{dsps}", luts, dsps)
+        for value in (t.c2v, t.syn, t.xst, t.tra, t.map, t.par, t.bitgen):
+            assert value > 0
+        assert t.map <= model.map_max * 1.2
+        assert t.par <= model.par_max * 1.01
+        assert t.total == pytest.approx(t.constant_sum + t.map + t.par)
+
+
+class TestCacheSimulationProperties:
+    @given(hit=st.integers(min_value=0, max_value=100))
+    @settings(max_examples=20, deadline=None)
+    def test_effective_cost_between_zero_and_full(self, hit, shared_report):
+        from repro.core.cache import CacheSimulation
+
+        sim = CacheSimulation()
+        full = sim.effective_toolflow_seconds(shared_report, 0.0)
+        eff = sim.effective_toolflow_seconds(shared_report, float(hit))
+        assert 0.0 <= eff <= full + 1e-9
+
+
+@pytest.fixture(scope="module")
+def shared_report():
+    src = """
+double a[32]; double b[32];
+int main() {
+    for (int i = 0; i < 32; i++) { a[i] = 0.1 * (double)i; b[i] = 2.0; }
+    double s = 0.0;
+    for (int it = 0; it < 8; it++)
+        for (int i = 0; i < 31; i++) s += a[i] * b[i] + a[i + 1] * 0.5;
+    print_f64(s);
+    return 0;
+}
+"""
+    from repro.core import AsipSpecializationProcess
+
+    module = compile_source(src, "cacheprop").module
+    profile = Interpreter(module).run("main").profile
+    return AsipSpecializationProcess().run(module, profile)

@@ -1,0 +1,66 @@
+"""Tests for deterministic RNG and stable hashing."""
+
+import numpy as np
+
+from repro.util.rng import DeterministicRng, stable_hash
+
+
+class TestStableHash:
+    def test_deterministic_across_calls(self):
+        assert stable_hash("a", 1, 2.5) == stable_hash("a", 1, 2.5)
+
+    def test_distinguishes_parts(self):
+        assert stable_hash("ab", "c") != stable_hash("a", "bc")
+
+    def test_distinguishes_types(self):
+        assert stable_hash(1) != stable_hash("1")
+
+    def test_64_bit_range(self):
+        h = stable_hash("anything")
+        assert 0 <= h < 2**64
+
+
+class TestDeterministicRng:
+    def test_same_namespace_same_stream(self):
+        a = DeterministicRng("ns", 7)
+        b = DeterministicRng("ns", 7)
+        assert list(a.integers(0, 100, size=10)) == list(b.integers(0, 100, size=10))
+
+    def test_different_namespace_different_stream(self):
+        a = DeterministicRng("ns1")
+        b = DeterministicRng("ns2")
+        assert list(a.integers(0, 10**9, size=8)) != list(
+            b.integers(0, 10**9, size=8)
+        )
+
+    def test_different_seed_different_stream(self):
+        a = DeterministicRng("ns", 0)
+        b = DeterministicRng("ns", 1)
+        assert list(a.integers(0, 10**9, size=8)) != list(
+            b.integers(0, 10**9, size=8)
+        )
+
+    def test_child_is_independent_and_deterministic(self):
+        parent1 = DeterministicRng("p", 3)
+        parent2 = DeterministicRng("p", 3)
+        c1 = parent1.child("sub")
+        c2 = parent2.child("sub")
+        assert list(c1.integers(0, 1000, size=5)) == list(c2.integers(0, 1000, size=5))
+
+    def test_uniform_bounds(self):
+        rng = DeterministicRng("u")
+        values = rng.uniform(2.0, 3.0, size=100)
+        assert np.all(values >= 2.0) and np.all(values < 3.0)
+
+    def test_shuffle_in_place_deterministic(self):
+        xs1 = list(range(20))
+        xs2 = list(range(20))
+        DeterministicRng("s").shuffle(xs1)
+        DeterministicRng("s").shuffle(xs2)
+        assert xs1 == xs2
+        assert sorted(xs1) == list(range(20))
+
+    def test_choice(self):
+        rng = DeterministicRng("c")
+        picked = rng.choice([1, 2, 3], size=50)
+        assert set(int(p) for p in picked) <= {1, 2, 3}

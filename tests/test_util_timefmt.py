@@ -1,0 +1,79 @@
+"""Tests for the paper-style time formatting helpers."""
+
+import pytest
+
+from repro.util.timefmt import (
+    format_dhms,
+    format_hhmmss,
+    format_hms,
+    format_ms,
+    format_seconds,
+    parse_hms,
+)
+
+
+class TestFormatting:
+    def test_ms(self):
+        assert format_ms(0.00144) == "1.44"
+
+    def test_seconds(self):
+        assert format_seconds(151.0) == "151.00"
+
+    def test_hms_under_minute(self):
+        assert format_hms(56) == "0:56"
+
+    def test_hms_minutes_can_exceed_59(self):
+        # Paper prints 87:52 meaning 87 minutes.
+        assert format_hms(87 * 60 + 52) == "87:52"
+
+    def test_dhms(self):
+        assert format_dhms(206 * 86400 + 22 * 3600 + 15 * 60 + 50) == "206:22:15:50"
+
+    def test_dhms_zero_days(self):
+        assert format_dhms(4 * 3600 + 34 * 60 + 10) == "0:04:34:10"
+
+    def test_hhmmss(self):
+        assert format_hhmmss(1 * 3600 + 59 * 60 + 55) == "01:59:55"
+
+
+class TestParsing:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("0:56", 56),
+            ("87:52", 87 * 60 + 52),
+            ("01:59:55", 3600 + 59 * 60 + 55),
+            ("206:22:15:50", 206 * 86400 + 22 * 3600 + 15 * 60 + 50),
+            ("42", 42),
+        ],
+    )
+    def test_parse(self, text, expected):
+        assert parse_hms(text) == pytest.approx(expected)
+
+    def test_round_trip(self):
+        for seconds in (0, 59, 61, 3600, 86400 + 3661):
+            assert parse_hms(format_dhms(seconds)) == seconds
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_hms("1:2:3:4:5")
+
+
+class TestTableRenderer:
+    def test_table_renders_rows_and_footer(self):
+        from repro.util.tables import Table
+
+        t = Table(columns=["App", "x"], title="T")
+        t.add_row(["gzip", "1"])
+        t.add_footer(["AVG", "1"])
+        text = t.render()
+        assert "App" in text and "gzip" in text and "AVG" in text
+
+    def test_table_rejects_wrong_arity(self):
+        from repro.util.tables import Table
+
+        t = Table(columns=["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(["only-one"])
+        with pytest.raises(ValueError):
+            t.add_footer(["1", "2", "3"])

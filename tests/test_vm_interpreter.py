@@ -1,0 +1,152 @@
+"""Tests for the interpreter and profiler."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.vm import Interpreter, VMError
+from repro.vm.costmodel import PPC405_COST_MODEL
+from repro.vm.profiler import static_block_costs
+
+from conftest import build_sumsq_module, run_main
+
+
+class TestExecution:
+    def test_sumsq_unoptimized(self):
+        module = build_sumsq_module()
+        assert Interpreter(module).run("sumsq", [10]).return_value == 285
+
+    def test_argument_count_checked(self):
+        module = build_sumsq_module()
+        with pytest.raises(VMError, match="expected 1 args"):
+            Interpreter(module).run("sumsq", [])
+
+    def test_division_by_zero_traps(self):
+        src = "int main() { int z = dataset_size(); return 5 / z; }"
+        module = compile_source(src, "trap").module
+        with pytest.raises(VMError, match="div"):
+            Interpreter(module, dataset_size=0).run("main")
+
+    def test_step_limit(self):
+        src = "int main() { int i = 0; while (1) { i++; } return i; }"
+        module = compile_source(src, "inf").module
+        with pytest.raises(VMError, match="step limit"):
+            Interpreter(module, max_steps=10_000).run("main")
+
+    def test_global_state_persists_across_runs(self):
+        src = """
+int counter = 0;
+int main() { counter++; return counter; }
+"""
+        module = compile_source(src, "persist").module
+        interp = Interpreter(module)
+        assert interp.run("main").return_value == 1
+        assert interp.run("main").return_value == 2  # same memory image
+
+    def test_output_capture_order(self):
+        src = """
+int main() {
+    print_i32(1); print_f64(2.5); print_i64(3);
+    return 0;
+}
+"""
+        assert run_main(src).output == [1, 2.5, 3]
+
+    def test_unknown_function(self):
+        module = build_sumsq_module()
+        with pytest.raises(KeyError):
+            Interpreter(module).run("nope")
+
+
+class TestProfile:
+    def test_block_counts_match_loop_trip_counts(self):
+        module = build_sumsq_module()
+        result = Interpreter(module).run("sumsq", [10])
+        prof = result.profile
+        assert prof.count_of("sumsq", "entry") == 1
+        assert prof.count_of("sumsq", "loop") == 11  # 10 iterations + exit check
+        assert prof.count_of("sumsq", "body") == 10
+        assert prof.count_of("sumsq", "done") == 1
+
+    def test_steps_equals_dynamic_instructions(self):
+        module = build_sumsq_module()
+        result = Interpreter(module).run("sumsq", [4])
+        assert result.steps == result.profile.total_dynamic_instructions
+
+    def test_merged_profiles_add_counts(self):
+        module = build_sumsq_module()
+        p1 = Interpreter(module).run("sumsq", [3]).profile
+        p2 = Interpreter(module).run("sumsq", [5]).profile
+        merged = p1.merged_with(p2)
+        assert merged.count_of("sumsq", "body") == 8
+
+    def test_total_cycles_positive_and_additive(self):
+        module = build_sumsq_module()
+        prof = Interpreter(module).run("sumsq", [6]).profile
+        cm = PPC405_COST_MODEL
+        total = prof.total_cycles(module, cm)
+        assert total > 0
+        costs = static_block_costs(module, cm)
+        manual = sum(
+            bp.count * costs[key] for key, bp in prof.blocks.items()
+        )
+        assert total == pytest.approx(manual)
+
+    def test_block_cost_override_applied(self):
+        module = build_sumsq_module()
+        prof = Interpreter(module).run("sumsq", [6]).profile
+        cm = PPC405_COST_MODEL
+
+        def override(func, block):
+            return 1.0 if block == "body" else None
+
+        total = prof.total_cycles(module, cm, override)
+        base = prof.total_cycles(module, cm)
+        assert total < base
+
+    def test_time_shares_sum_to_one(self):
+        module = build_sumsq_module()
+        prof = Interpreter(module).run("sumsq", [6]).profile
+        shares = prof.block_time_shares(module, PPC405_COST_MODEL)
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+
+class TestCostModel:
+    def test_fp_more_expensive_than_int(self):
+        from repro.ir import F64, I32, IRBuilder, Module
+
+        m = Module("t")
+        f = m.declare_function("f", F64, [("x", F64), ("i", I32)])
+        b = IRBuilder(f.add_block("entry"))
+        fadd = b.fadd(f.args[0], f.args[0])
+        iadd = b.add(f.args[1], f.args[1])
+        b.ret(fadd)
+        cm = PPC405_COST_MODEL
+        assert cm.cycles_for(fadd) > 5 * cm.cycles_for(iadd)
+
+    def test_f32_cheaper_than_f64(self):
+        from repro.ir import F32, F64, IRBuilder, Module
+
+        m = Module("t")
+        f = m.declare_function("f", F32, [("a", F32), ("b", F64)])
+        bl = IRBuilder(f.add_block("entry"))
+        f32op = bl.fadd(f.args[0], f.args[0])
+        f64op = bl.fadd(f.args[1], f.args[1])
+        bl.ret(f32op)
+        cm = PPC405_COST_MODEL
+        assert cm.cycles_for(f32op) < cm.cycles_for(f64op)
+
+    def test_soft_float_scale(self):
+        from repro.ir import F64, IRBuilder, Module
+
+        m = Module("t")
+        f = m.declare_function("f", F64, [("x", F64)])
+        b = IRBuilder(f.add_block("entry"))
+        op = b.fmul(f.args[0], f.args[0])
+        b.ret(op)
+        base = PPC405_COST_MODEL
+        scaled = base.with_soft_float_scale(3.0)
+        assert scaled.cycles_for(op) == pytest.approx(3.0 * base.cycles_for(op))
+
+    def test_seconds_conversion(self):
+        cm = PPC405_COST_MODEL
+        assert cm.seconds(cm.clock_hz) == pytest.approx(1.0)

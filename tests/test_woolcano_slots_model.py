@@ -1,0 +1,83 @@
+"""Tests for the slot-constrained speedup model (ablation A4 support)."""
+
+import pytest
+
+from repro.ise import CandidateSearch
+from repro.ise.pruning import NO_PRUNING
+from repro.woolcano import CustomInstructionSlots, WoolcanoMachine
+
+
+@pytest.fixture(scope="module")
+def machine_setup():
+    from repro.frontend import compile_source
+    from repro.vm import Interpreter
+
+    src = """
+double a[64]; double b[64]; double c[64]; double d[64];
+int main() {
+    for (int i = 0; i < 64; i++) { a[i] = 0.01 * (double)i; b[i] = 2.0; }
+    double s = 0.0;
+    for (int it = 0; it < 10; it++)
+        for (int i = 1; i < 63; i++) {
+            c[i] = a[i] * b[i] + a[i - 1] * 0.5;
+            d[i] = b[i] / 3.0 - a[i + 1] * 0.25;
+            s += c[i] * d[i] + (c[i] - d[i]) * 0.125;
+        }
+    print_f64(s);
+    return 0;
+}
+"""
+    module = compile_source(src, "slots").module
+    profile = Interpreter(module).run("main").profile
+    search = CandidateSearch(pruning=NO_PRUNING).run(module, profile)
+    return module, profile, search
+
+
+class TestSlotConstrainedSpeedup:
+    def test_zero_slots_no_speedup(self, machine_setup):
+        module, profile, search = machine_setup
+        machine = WoolcanoMachine()
+        sp = machine.speedup_with_slots(module, profile, search.selected, 0)
+        assert sp.ratio == pytest.approx(1.0)
+
+    def test_monotone_in_capacity(self, machine_setup):
+        module, profile, search = machine_setup
+        machine = WoolcanoMachine()
+        ratios = [
+            machine.speedup_with_slots(module, profile, search.selected, c).ratio
+            for c in range(0, len(search.selected) + 2)
+        ]
+        assert all(b >= a - 1e-9 for a, b in zip(ratios, ratios[1:]))
+
+    def test_enough_slots_equals_unconstrained(self, machine_setup):
+        module, profile, search = machine_setup
+        machine = WoolcanoMachine()
+        constrained = machine.speedup_with_slots(
+            module, profile, search.selected, len(search.selected)
+        )
+        unconstrained = machine.speedup(module, profile, search.selected)
+        assert constrained.ratio == pytest.approx(unconstrained.ratio)
+
+    def test_top_candidate_chosen_first(self, machine_setup):
+        module, profile, search = machine_setup
+        machine = WoolcanoMachine()
+        one = machine.speedup_with_slots(module, profile, search.selected, 1)
+        # one slot must give at least as much as any single candidate alone
+        singles = [
+            machine.speedup(module, profile, [est]).ratio
+            for est in search.selected
+        ]
+        assert one.ratio == pytest.approx(max(singles), rel=1e-9)
+
+    def test_default_capacity_from_machine_slots(self, machine_setup):
+        module, profile, search = machine_setup
+        machine = WoolcanoMachine(slots=CustomInstructionSlots(capacity=1))
+        default = machine.speedup_with_slots(module, profile, search.selected)
+        explicit = machine.speedup_with_slots(module, profile, search.selected, 1)
+        assert default.ratio == explicit.ratio
+
+    def test_negative_capacity_rejected(self, machine_setup):
+        module, profile, search = machine_setup
+        machine = WoolcanoMachine()
+        with pytest.raises(ValueError):
+            machine.speedup_with_slots(module, profile, search.selected, -1)
