@@ -1,0 +1,16 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test trace-smoke tables
+
+# Tier-1 verification: the full test suite.
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Observability smoke: run one embedded app with tracing + metrics enabled,
+# validate the exported trace schema, and replay it as a stage-time table.
+trace-smoke:
+	$(PYTHON) -m pytest -q -m trace_smoke tests/test_cli.py
+
+tables:
+	$(PYTHON) -m repro tables all

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from functools import lru_cache
 
 from repro.frontend.compiler import CompilationResult, compile_files
+from repro.obs import get_tracer
 from repro.vm.interpreter import ExecutionResult, Interpreter
 
 
@@ -74,5 +75,13 @@ class CompiledApp:
 
 def compile_app(spec: AppSpec, opt_level: int = 2) -> CompiledApp:
     """Compile an application (no caching: callers may patch the module)."""
-    result = compile_files(list(spec.sources), spec.name, opt_level)
+    with get_tracer().span(
+        "pipeline.compile", app=spec.name, opt_level=opt_level
+    ) as sp:
+        result = compile_files(list(spec.sources), spec.name, opt_level)
+        sp.set_attrs(
+            files=result.files,
+            instructions=result.instructions,
+            virtual_seconds=result.compile_seconds,
+        )
     return CompiledApp(spec=spec, compilation=result)

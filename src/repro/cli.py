@@ -7,7 +7,12 @@ Commands:
 - ``apps`` — list the benchmark suite;
 - ``analyze <app>`` — full analysis of one application (Table I+II row);
 - ``jit <app>`` — run the end-to-end JIT flow on one application;
-- ``timeline <app>`` — concurrent-specialization timeline (extension).
+- ``timeline <app>`` — concurrent-specialization timeline (extension);
+- ``trace <file>`` — replay a saved trace as a per-stage time table.
+
+Every command accepts ``--trace FILE`` (export a JSONL span trace of the
+run) and ``--metrics`` (print a metrics snapshot after the run); see
+:mod:`repro.obs`.
 """
 
 from __future__ import annotations
@@ -144,39 +149,117 @@ def _cmd_timeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro import obs
+
+    try:
+        records = obs.read_jsonl(args.file)
+    except OSError as exc:
+        print(f"cannot read trace: {exc}", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        print(f"invalid trace: {exc}", file=sys.stderr)
+        return 1
+    errors = obs.validate_trace(records)
+    if errors:
+        for err in errors:
+            print(f"invalid trace: {err}", file=sys.stderr)
+        return 1
+    print(obs.render_stage_table(records))
+    if args.timeline:
+        print()
+        print(obs.render_timeline(records))
+    if args.chrome:
+        obs.write_chrome_trace(records, args.chrome)
+        print(f"\nwrote Chrome trace_event file: {args.chrome}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="JIT instruction-set-extension reproduction toolkit",
     )
+    obs_options = argparse.ArgumentParser(add_help=False)
+    obs_options.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="record a span trace of this run and export it as JSON lines",
+    )
+    obs_options.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect metrics and print a snapshot after the run",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_tables = sub.add_parser("tables", help="regenerate the paper's tables")
+    p_tables = sub.add_parser(
+        "tables", parents=[obs_options], help="regenerate the paper's tables"
+    )
     p_tables.add_argument(
         "which", nargs="?", default="all", choices=["1", "2", "3", "4", "all"]
     )
     p_tables.set_defaults(fn=_cmd_tables)
 
-    sub.add_parser("figures", help="print Figures 1 and 2").set_defaults(
-        fn=_cmd_figures
-    )
-    sub.add_parser("apps", help="list the benchmark suite").set_defaults(
-        fn=_cmd_apps
-    )
+    sub.add_parser(
+        "figures", parents=[obs_options], help="print Figures 1 and 2"
+    ).set_defaults(fn=_cmd_figures)
+    sub.add_parser(
+        "apps", parents=[obs_options], help="list the benchmark suite"
+    ).set_defaults(fn=_cmd_apps)
 
     for name, fn, help_text in (
         ("analyze", _cmd_analyze, "analyze one application"),
         ("jit", _cmd_jit, "run the end-to-end JIT flow on one application"),
         ("timeline", _cmd_timeline, "concurrent-specialization timeline"),
     ):
-        p = sub.add_parser(name, help=help_text)
+        p = sub.add_parser(name, parents=[obs_options], help=help_text)
         p.add_argument("app", help="application name, e.g. fft or 470.lbm")
         p.set_defaults(fn=fn)
+
+    p_trace = sub.add_parser(
+        "trace", help="replay a saved JSONL trace as a per-stage time table"
+    )
+    p_trace.add_argument("file", help="trace file written by --trace")
+    p_trace.add_argument(
+        "--timeline",
+        action="store_true",
+        help="also render the ASCII span timeline",
+    )
+    p_trace.add_argument(
+        "--chrome",
+        metavar="FILE",
+        default=None,
+        help="also write a Chrome trace_event file (chrome://tracing)",
+    )
+    p_trace.set_defaults(fn=_cmd_trace, trace=None, metrics=False)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    trace_file = getattr(args, "trace", None)
+    want_metrics = getattr(args, "metrics", False)
+    if trace_file or want_metrics:
+        from repro import obs
+
+        if trace_file:
+            obs.enable_tracing()
+        if want_metrics:
+            obs.enable_metrics()
+        try:
+            status = args.fn(args)
+        finally:
+            if trace_file:
+                tracer = obs.disable_tracing()
+                count = obs.export_tracer(tracer, trace_file)
+                print(f"\nwrote {count} spans to {trace_file}")
+            if want_metrics:
+                registry = obs.disable_metrics()
+                print("\nmetrics snapshot:")
+                print(obs.render_snapshot(registry.snapshot()))
+        return status
     return args.fn(args)
 
 

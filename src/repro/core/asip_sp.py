@@ -20,10 +20,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.fpga.placer import PlacementError
+from repro.fpga.router import RoutingError
 from repro.fpga.toolflow import CadToolFlow, ImplementationResult
 from repro.fpga.timingmodel import StageTimes
 from repro.ir.module import Module
 from repro.ise.selection import CandidateSearch, CandidateSearchResult
+from repro.obs import get_metrics, get_tracer
 from repro.pivpav.estimator import CandidateEstimate
 from repro.vm.profiler import ExecutionProfile
 from repro.woolcano.reconfig import IcapModel, ReconfigurationEvent
@@ -52,11 +55,7 @@ class SpecializationReport:
     # Candidates whose CAD implementation failed (e.g. too large for the
     # partial region): (estimate, error message). Their software fallback
     # keeps the application correct; they contribute no overhead/savings.
-    failed: list[tuple[CandidateEstimate, str]] = None  # type: ignore[assignment]
-
-    def __post_init__(self) -> None:
-        if self.failed is None:
-            self.failed = []
+    failed: list[tuple[CandidateEstimate, str]] = field(default_factory=list)
 
     # -- aggregate overheads (Table II columns) ------------------------------
     @property
@@ -104,39 +103,66 @@ class AsipSpecializationProcess:
     icap: IcapModel = field(default_factory=IcapModel)
 
     def run(self, module: Module, profile: ExecutionProfile) -> SpecializationReport:
-        search_result = self.search.run(module, profile)
+        tracer = get_tracer()
+        with tracer.span("asip_sp.run", module=module.name) as sp_run:
+            search_result = self.search.run(module, profile)
 
-        implementations: list[CandidateImplementation] = []
-        reconfigurations: list[ReconfigurationEvent] = []
-        failed: list[tuple[CandidateEstimate, str]] = []
-        by_signature: dict[int, ImplementationResult] = {}
-        for custom_id, est in enumerate(search_result.selected):
-            sig = est.candidate.signature
-            shared = sig in by_signature
-            if shared:
-                impl = by_signature[sig]
-            else:
-                try:
-                    impl = self.toolflow.implement(est.candidate)
-                except Exception as exc:  # CAD failure: software fallback
-                    from repro.fpga.placer import PlacementError
-                    from repro.fpga.router import RoutingError
-
-                    if not isinstance(exc, (PlacementError, RoutingError)):
-                        raise
-                    failed.append((est, str(exc)))
-                    continue
-                by_signature[sig] = impl
-            implementations.append(
-                CandidateImplementation(
-                    estimate=est,
-                    implementation=impl,
-                    shared_with_signature=shared,
+            implementations: list[CandidateImplementation] = []
+            reconfigurations: list[ReconfigurationEvent] = []
+            failed: list[tuple[CandidateEstimate, str]] = []
+            by_signature: dict[int, ImplementationResult] = {}
+            for custom_id, est in enumerate(search_result.selected):
+                sig = est.candidate.signature
+                shared = sig in by_signature
+                with tracer.span(
+                    "asip_sp.candidate",
+                    candidate=est.candidate.key,
+                    custom_id=custom_id,
+                    size=est.candidate.size,
+                    shared=shared,
+                ) as sp_cand:
+                    if shared:
+                        impl = by_signature[sig]
+                    else:
+                        try:
+                            impl = self.toolflow.implement(est.candidate)
+                        except (PlacementError, RoutingError) as exc:
+                            # CAD failure: software fallback keeps the
+                            # application correct.
+                            failed.append((est, str(exc)))
+                            sp_cand.set_attr("failed", True)
+                            continue
+                        by_signature[sig] = impl
+                    sp_cand.set_attrs(
+                        failed=False, virtual_seconds=impl.times.total
+                    )
+                    implementations.append(
+                        CandidateImplementation(
+                            estimate=est,
+                            implementation=impl,
+                            shared_with_signature=shared,
+                        )
+                    )
+                    reconfigurations.append(
+                        self.icap.reconfigure(custom_id, impl.bitstream)
+                    )
+            sp_run.set_attrs(
+                selected=len(search_result.selected),
+                implemented=len(implementations),
+                failed=len(failed),
+            )
+            registry = get_metrics()
+            if registry.enabled:
+                registry.counter("asip.candidates_selected").inc(
+                    len(search_result.selected)
                 )
-            )
-            reconfigurations.append(
-                self.icap.reconfigure(custom_id, impl.bitstream)
-            )
+                registry.counter("asip.candidates_implemented").inc(
+                    len(implementations)
+                )
+                registry.counter("asip.candidates_failed").inc(len(failed))
+                hist = registry.histogram("asip.toolflow_seconds")
+                for ci in implementations:
+                    hist.observe(ci.times.total)
         return SpecializationReport(
             search=search_result,
             implementations=implementations,

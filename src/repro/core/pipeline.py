@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from repro.core.asip_sp import AsipSpecializationProcess, SpecializationReport
 from repro.frontend.compiler import CompilationResult
 from repro.ir.verifier import verify_module
+from repro.obs import get_tracer
 from repro.vm.interpreter import ExecutionResult, Interpreter
 from repro.vm.jitruntime import JitRuntimeModel, RuntimeEstimate
 from repro.vm.patcher import BinaryPatcher
@@ -62,35 +63,45 @@ class JitIseSystem:
         dataset_seed: int = 1,
     ) -> AdaptationResult:
         module = compilation.module
+        tracer = get_tracer()
+        with tracer.span("pipeline.run", app=module.name, entry=entry):
+            # VM execution with profiling (the "VM" path of Figure 1).
+            with tracer.span("pipeline.baseline") as sp:
+                baseline = Interpreter(
+                    module, dataset_size=dataset_size, dataset_seed=dataset_seed
+                ).run(entry, args)
+                sp.set_attr("steps", baseline.steps)
+            runtime = self.runtime_model.estimate(module, baseline.profile)
 
-        # VM execution with profiling (the "VM" path of Figure 1).
-        baseline = Interpreter(
-            module, dataset_size=dataset_size, dataset_seed=dataset_seed
-        ).run(entry, args)
-        runtime = self.runtime_model.estimate(module, baseline.profile)
+            # ASIP specialization runs concurrently with execution.
+            with tracer.span("pipeline.specialize"):
+                report = self.asip_sp.run(module, baseline.profile)
 
-        # ASIP specialization runs concurrently with execution.
-        report = self.asip_sp.run(module, baseline.profile)
+            # Speedup accounting must read the *unpatched* module (the patched
+            # one contains CUSTOM instructions the base cost model cannot
+            # price).
+            speedup = self.machine.speedup(
+                module,
+                baseline.profile,
+                [ci.estimate for ci in report.implementations],
+            )
 
-        # Speedup accounting must read the *unpatched* module (the patched
-        # one contains CUSTOM instructions the base cost model cannot price).
-        speedup = self.machine.speedup(
-            module,
-            baseline.profile,
-            [ci.estimate for ci in report.implementations],
-        )
-
-        # Adaptation: patch the binary to use the custom instructions.
-        patcher = BinaryPatcher()
-        patcher.patch_module(
-            module, [ci.estimate.candidate for ci in report.implementations]
-        )
-        verify_module(module)
-        interp = Interpreter(
-            module, dataset_size=dataset_size, dataset_seed=dataset_seed
-        )
-        patcher.install(interp)
-        adapted = interp.run(entry, args)
+            # Adaptation: patch the binary to use the custom instructions.
+            with tracer.span("pipeline.adapt") as sp:
+                patcher = BinaryPatcher()
+                patcher.patch_module(
+                    module,
+                    [ci.estimate.candidate for ci in report.implementations],
+                )
+                sp.set_attr("custom_instructions", report.candidate_count)
+            with tracer.span("pipeline.verify") as sp:
+                verify_module(module)
+                interp = Interpreter(
+                    module, dataset_size=dataset_size, dataset_seed=dataset_seed
+                )
+                patcher.install(interp)
+                adapted = interp.run(entry, args)
+                sp.set_attr("output_equal", baseline.output == adapted.output)
         return AdaptationResult(
             compilation=compilation,
             baseline=baseline,

@@ -9,6 +9,7 @@ from repro.core.asip_sp import AsipSpecializationProcess, SpecializationReport
 from repro.core.breakeven import BreakEvenAnalysis, BreakEvenModel
 from repro.ise.pruning import NO_PRUNING, PruningFilter
 from repro.ise.selection import CandidateSearch, CandidateSearchResult
+from repro.obs import get_tracer
 from repro.profiling import CoverageAnalysis, KernelAnalysis, classify_blocks, compute_kernel
 from repro.vm.jitruntime import JitRuntimeModel, RuntimeEstimate
 from repro.vm.profiler import ExecutionProfile
@@ -74,41 +75,48 @@ def analyze_app(
 
     spec = get_app(name)
     machine = machine or WoolcanoMachine()
-    compiled = compile_app(spec)
-    module = compiled.module
+    tracer = get_tracer()
+    with tracer.span("analysis.run", app=name):
+        compiled = compile_app(spec)
+        module = compiled.module
 
-    profiles: dict[str, ExecutionProfile] = {}
-    for ds in spec.datasets:
-        profiles[ds.name] = compiled.run(ds).profile
-    train = profiles[spec.train.name]
+        with tracer.span("analysis.profile", datasets=len(spec.datasets)):
+            profiles: dict[str, ExecutionProfile] = {}
+            for ds in spec.datasets:
+                profiles[ds.name] = compiled.run(ds).profile
+            train = profiles[spec.train.name]
 
-    runtime = JitRuntimeModel(cost_model=machine.cost_model).estimate(module, train)
-    coverage = classify_blocks(module, list(profiles.values()))
-    kernel = compute_kernel(module, train, cost_model=machine.cost_model)
-
-    search_full = CandidateSearch(
-        pruning=NO_PRUNING,
-        min_total_cycles_saved=0.0,
-        cost_model=machine.cost_model,
-    ).run(module, train)
-    asip_sp = AsipSpecializationProcess(
-        search=CandidateSearch(
-            pruning=PruningFilter(), cost_model=machine.cost_model
+        runtime = JitRuntimeModel(cost_model=machine.cost_model).estimate(
+            module, train
         )
-    )
-    specialization = asip_sp.run(module, train)
-    search_pruned = specialization.search
+        with tracer.span("analysis.coverage"):
+            coverage = classify_blocks(module, list(profiles.values()))
+            kernel = compute_kernel(module, train, cost_model=machine.cost_model)
 
-    asip_max = machine.speedup(module, train, search_full.selected)
-    asip_pruned = machine.speedup(module, train, search_pruned.selected)
+        search_full = CandidateSearch(
+            pruning=NO_PRUNING,
+            min_total_cycles_saved=0.0,
+            cost_model=machine.cost_model,
+        ).run(module, train)
+        asip_sp = AsipSpecializationProcess(
+            search=CandidateSearch(
+                pruning=PruningFilter(), cost_model=machine.cost_model
+            )
+        )
+        specialization = asip_sp.run(module, train)
+        search_pruned = specialization.search
 
-    breakeven = BreakEvenModel(cost_model=machine.cost_model).analyze(
-        module,
-        train,
-        coverage,
-        search_pruned.selected,
-        specialization.total_overhead_seconds,
-    )
+        asip_max = machine.speedup(module, train, search_full.selected)
+        asip_pruned = machine.speedup(module, train, search_pruned.selected)
+
+        with tracer.span("analysis.breakeven"):
+            breakeven = BreakEvenModel(cost_model=machine.cost_model).analyze(
+                module,
+                train,
+                coverage,
+                search_pruned.selected,
+                specialization.total_overhead_seconds,
+            )
 
     analysis = AppAnalysis(
         spec=spec,

@@ -16,6 +16,7 @@ from repro.ir.module import Module
 from repro.ise.candidate import Candidate
 from repro.ise.maxmiso import MaxMisoIdentifier
 from repro.ise.pruning import PruningFilter
+from repro.obs import get_tracer
 from repro.pivpav.estimator import CandidateEstimate, PivPavEstimator
 from repro.vm.costmodel import CostModel, PPC405_COST_MODEL
 from repro.vm.profiler import BlockKey, ExecutionProfile
@@ -79,57 +80,76 @@ class CandidateSearch:
             self.estimator = PivPavEstimator(cost_model=self.cost_model)
 
     def run(self, module: Module, profile: ExecutionProfile) -> CandidateSearchResult:
+        tracer = get_tracer()
+        with tracer.span("search", module=module.name) as sp_search:
+            return self._run_traced(tracer, sp_search, module, profile)
+
+    def _run_traced(
+        self, tracer, sp_search, module: Module, profile: ExecutionProfile
+    ) -> CandidateSearchResult:
         start = time.perf_counter()
 
         # 1. Pruning: restrict identification to the hottest largest blocks.
-        block_keys = self.pruning.select_blocks(module, profile)
-        blocks_by_key = {}
-        for func in module.defined_functions():
-            for block in func.blocks:
-                blocks_by_key[(func.name, block.name)] = block
-        pruned_instructions = sum(
-            len(blocks_by_key[k].instructions)
-            for k in block_keys
-            if k in blocks_by_key
-        )
+        with tracer.span("search.pruning") as sp:
+            block_keys = self.pruning.select_blocks(module, profile)
+            blocks_by_key = {}
+            for func in module.defined_functions():
+                for block in func.blocks:
+                    blocks_by_key[(func.name, block.name)] = block
+            pruned_instructions = sum(
+                len(blocks_by_key[k].instructions)
+                for k in block_keys
+                if k in blocks_by_key
+            )
+            sp.set_attrs(
+                blocks=len(block_keys), instructions=pruned_instructions
+            )
 
         # 2. Identification.
-        candidates: list[Candidate] = []
-        for key in block_keys:
-            block = blocks_by_key.get(key)
-            if block is None:
-                continue
-            candidates.extend(
-                self.identifier.identify_block(key[0], block, len(candidates))
-            )
+        with tracer.span("search.identification") as sp:
+            candidates: list[Candidate] = []
+            for key in block_keys:
+                block = blocks_by_key.get(key)
+                if block is None:
+                    continue
+                candidates.extend(
+                    self.identifier.identify_block(key[0], block, len(candidates))
+                )
+            sp.set_attr("candidates", len(candidates))
 
         # 3. Estimation + 4. Selection.
-        selected: list[CandidateEstimate] = []
-        rejected: list[CandidateEstimate] = []
-        for cand in candidates:
-            est = self.estimator.estimate(cand)
-            count = profile.count_of(cand.function, cand.block)
-            total_saved = est.cycles_saved * count
-            if est.profitable and total_saved >= self.min_total_cycles_saved:
-                selected.append(est)
-            else:
-                rejected.append(est)
-        if not selected and rejected and self.fallback_count > 0:
-            rejected.sort(
-                key=lambda e: (-e.cycles_saved, e.candidate.key)
-            )
-            selected = rejected[: self.fallback_count]
-            rejected = rejected[self.fallback_count :]
+        with tracer.span("search.estimation") as sp:
+            estimates = [self.estimator.estimate(cand) for cand in candidates]
+            sp.set_attr("estimates", len(estimates))
+        with tracer.span("search.selection") as sp:
+            selected: list[CandidateEstimate] = []
+            rejected: list[CandidateEstimate] = []
+            for est in estimates:
+                cand = est.candidate
+                count = profile.count_of(cand.function, cand.block)
+                total_saved = est.cycles_saved * count
+                if est.profitable and total_saved >= self.min_total_cycles_saved:
+                    selected.append(est)
+                else:
+                    rejected.append(est)
+            if not selected and rejected and self.fallback_count > 0:
+                rejected.sort(
+                    key=lambda e: (-e.cycles_saved, e.candidate.key)
+                )
+                selected = rejected[: self.fallback_count]
+                rejected = rejected[self.fallback_count :]
 
-        # Deterministic order: biggest total savings first.
-        selected.sort(
-            key=lambda e: (
-                -e.cycles_saved * profile.count_of(e.candidate.function, e.candidate.block),
-                e.candidate.key,
+            # Deterministic order: biggest total savings first.
+            selected.sort(
+                key=lambda e: (
+                    -e.cycles_saved * profile.count_of(e.candidate.function, e.candidate.block),
+                    e.candidate.key,
+                )
             )
-        )
+            sp.set_attrs(selected=len(selected), rejected=len(rejected))
 
         elapsed = time.perf_counter() - start
+        sp_search.set_attrs(selected=len(selected), virtual_seconds=elapsed)
         return CandidateSearchResult(
             selected=selected,
             rejected=rejected,

@@ -1,0 +1,108 @@
+"""Observability: span tracing, metrics, and trace export.
+
+The paper's results are per-stage time breakdowns (Tables II/III); this
+package makes every run of the reproduction produce the same shape of
+evidence on demand:
+
+- :mod:`repro.obs.tracer` — thread-safe span tracer with nested
+  parent/child spans and a process-global default that is a no-op until
+  enabled (zero overhead on hot paths);
+- :mod:`repro.obs.metrics` — counters, gauges, and fixed-bucket
+  histograms behind a :class:`MetricsRegistry`;
+- :mod:`repro.obs.export` — JSONL round-trip, Chrome ``trace_event``
+  dump, and ASCII stage-table / timeline renderers keyed to the paper's
+  stage names.
+
+Enable both at once with :func:`enable` (the CLI's ``--trace`` /
+``--metrics`` flags call this).
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    disable_metrics,
+    enable_metrics,
+    get_metrics,
+    metrics_enabled,
+    render_snapshot,
+    set_metrics,
+)
+from repro.obs.tracer import (
+    NOOP_SPAN,
+    Span,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    set_tracer,
+    span,
+    tracing_enabled,
+)
+from repro.obs.export import (
+    PAPER_STAGES,
+    PAPER_STAGE_LABELS,
+    TABLE3_SPAN_NAMES,
+    SpanRecord,
+    chrome_trace,
+    export_tracer,
+    read_jsonl,
+    render_stage_table,
+    render_timeline,
+    stage_table,
+    validate_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+
+def enable(tracing: bool = True, metrics: bool = True) -> None:
+    """Turn on tracing and/or metrics collection for this process."""
+    if tracing:
+        enable_tracing()
+    if metrics:
+        enable_metrics()
+
+
+def disable() -> None:
+    disable_tracing()
+    disable_metrics()
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NOOP_SPAN",
+    "PAPER_STAGES",
+    "PAPER_STAGE_LABELS",
+    "TABLE3_SPAN_NAMES",
+    "Span",
+    "SpanRecord",
+    "Tracer",
+    "chrome_trace",
+    "disable",
+    "disable_metrics",
+    "disable_tracing",
+    "enable",
+    "enable_metrics",
+    "enable_tracing",
+    "export_tracer",
+    "get_metrics",
+    "get_tracer",
+    "metrics_enabled",
+    "read_jsonl",
+    "render_snapshot",
+    "render_stage_table",
+    "render_timeline",
+    "set_metrics",
+    "set_tracer",
+    "span",
+    "stage_table",
+    "tracing_enabled",
+    "validate_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,211 @@
+"""Counters, gauges, and histograms for the JIT-ISE pipeline.
+
+Complements :mod:`repro.obs.tracer`: spans answer *where did the time go*,
+metrics answer *how much work happened* — instructions interpreted,
+intrinsic calls, candidates implemented, bitstream bytes written through
+the ICAP. All instruments live in a :class:`MetricsRegistry`;
+:meth:`MetricsRegistry.snapshot` returns a plain-dict view suitable for
+printing or JSON export.
+
+Like tracing, the process-global registry is **disabled** by default and
+instrumentation sites are expected to gate on :func:`metrics_enabled`
+(the interpreter bakes the check into block compilation, so a disabled
+registry costs the hot loop nothing).
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from dataclasses import dataclass, field
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self.value += amount
+
+
+class Gauge:
+    """Last-written value (e.g. current fabric slot occupancy)."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = float(value)
+
+    def add(self, delta: float) -> None:
+        with self._lock:
+            self.value += float(delta)
+
+
+# Default histogram buckets: seconds, log-ish spacing spanning the paper's
+# observed range — milliseconds (search, ICAP) to minutes (Map/PAR/Bitgen).
+DEFAULT_BUCKETS = (
+    0.001, 0.01, 0.1, 1.0, 5.0, 15.0, 60.0, 180.0, 600.0,
+)
+
+
+class Histogram:
+    """Fixed-bucket histogram with count/sum/min/max."""
+
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "sum", "min", "max", "_lock")
+
+    def __init__(self, name: str, buckets: tuple = DEFAULT_BUCKETS) -> None:
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.name = name
+        self.bounds = bounds
+        # bucket_counts[i] counts observations <= bounds[i]; the final
+        # slot is the +Inf overflow bucket.
+        self.bucket_counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
+            self.count += 1
+            self.sum += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "buckets": {
+                **{f"le_{b:g}": c for b, c in zip(self.bounds, self.bucket_counts)},
+                "inf": self.bucket_counts[-1],
+            },
+        }
+
+
+@dataclass
+class MetricsRegistry:
+    """Named instruments, created on first use."""
+
+    enabled: bool = True
+    _counters: dict[str, Counter] = field(default_factory=dict)
+    _gauges: dict[str, Gauge] = field(default_factory=dict)
+    _histograms: dict[str, Histogram] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            inst = self._counters.get(name)
+            if inst is None:
+                inst = self._counters[name] = Counter(name)
+            return inst
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            inst = self._gauges.get(name)
+            if inst is None:
+                inst = self._gauges[name] = Gauge(name)
+            return inst
+
+    def histogram(self, name: str, buckets: tuple = DEFAULT_BUCKETS) -> Histogram:
+        with self._lock:
+            inst = self._histograms.get(name)
+            if inst is None:
+                inst = self._histograms[name] = Histogram(name, buckets)
+            return inst
+
+    def snapshot(self) -> dict:
+        """Plain-dict view of every instrument's current state."""
+        with self._lock:
+            return {
+                "counters": {n: c.value for n, c in sorted(self._counters.items())},
+                "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+                "histograms": {
+                    n: h.as_dict() for n, h in sorted(self._histograms.items())
+                },
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+def render_snapshot(snap: dict) -> str:
+    """Human-readable rendering of a :meth:`MetricsRegistry.snapshot`."""
+    lines: list[str] = []
+    if snap.get("counters"):
+        lines.append("counters:")
+        for name, value in snap["counters"].items():
+            lines.append(f"  {name:40s} {value}")
+    if snap.get("gauges"):
+        lines.append("gauges:")
+        for name, value in snap["gauges"].items():
+            lines.append(f"  {name:40s} {value:g}")
+    if snap.get("histograms"):
+        lines.append("histograms:")
+        for name, h in snap["histograms"].items():
+            lines.append(
+                f"  {name:40s} count={h['count']} mean={h['mean']:.4g} "
+                f"min={h['min'] if h['min'] is not None else '-'} "
+                f"max={h['max'] if h['max'] is not None else '-'}"
+            )
+    return "\n".join(lines) if lines else "(no metrics recorded)"
+
+
+# -- process-global default registry ------------------------------------------
+_default_registry = MetricsRegistry(enabled=False)
+
+
+def get_metrics() -> MetricsRegistry:
+    return _default_registry
+
+
+def set_metrics(registry: MetricsRegistry) -> MetricsRegistry:
+    global _default_registry
+    _default_registry = registry
+    return registry
+
+
+def enable_metrics(reset: bool = True) -> MetricsRegistry:
+    if reset:
+        _default_registry.reset()
+    _default_registry.enabled = True
+    return _default_registry
+
+
+def disable_metrics() -> MetricsRegistry:
+    _default_registry.enabled = False
+    return _default_registry
+
+
+def metrics_enabled() -> bool:
+    return _default_registry.enabled

@@ -1,0 +1,225 @@
+"""Span-based tracing for the JIT-ISE pipeline.
+
+The paper's central evidence is *where time goes*: Tables II and III are
+per-stage wall-clock breakdowns of the ASIP specialization process. The
+tracer makes every run of the reproduction inspectable the same way: each
+pipeline phase opens a :class:`Span` (a named interval with attributes),
+spans nest to form a tree, and the finished trace can be exported
+(:mod:`repro.obs.export`) as JSON lines, a Chrome ``trace_event`` file, or
+an ASCII stage-time table keyed to the paper's column names.
+
+Two clocks coexist:
+
+- **real time** — each span records monotonic ``perf_counter`` start/end
+  timestamps (candidate search genuinely runs here, so its real time is a
+  result, as in Table II's ``real [ms]`` column);
+- **virtual time** — the CAD stages are modelled, so their spans carry a
+  ``virtual_seconds`` attribute holding the calibrated Table III runtime.
+
+The process-global default tracer is **disabled** until
+:func:`enable_tracing` is called: a disabled tracer returns a shared no-op
+span, so instrumented hot paths pay one attribute check and nothing else.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Span:
+    """One named, timed interval in the pipeline.
+
+    Usable as a context manager; on exit it is timestamped and handed to
+    its tracer. Attributes can be attached at creation, via
+    :meth:`set_attr`, or after the fact (the tool flow back-fills
+    ``virtual_seconds`` once the timing model has priced the stage).
+    """
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    start: float
+    attrs: dict = field(default_factory=dict)
+    end: float | None = None
+    thread: int = 0
+    tracer: "Tracer | None" = field(default=None, repr=False)
+
+    @property
+    def duration(self) -> float:
+        """Real elapsed seconds (to now if the span is still open)."""
+        end = self.end if self.end is not None else time.perf_counter()
+        return max(0.0, end - self.start)
+
+    @property
+    def virtual_seconds(self) -> float | None:
+        value = self.attrs.get("virtual_seconds")
+        return float(value) if value is not None else None
+
+    def set_attr(self, key: str, value) -> None:
+        self.attrs[key] = value
+
+    def set_attrs(self, **attrs) -> None:
+        self.attrs.update(attrs)
+
+    def finish(self) -> None:
+        if self.end is None and self.tracer is not None:
+            self.tracer._finish(self)
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self.finish()
+        return False
+
+
+class _NoopSpan:
+    """Shared do-nothing span returned by a disabled tracer."""
+
+    __slots__ = ()
+
+    name = ""
+    span_id = 0
+    parent_id = None
+    attrs: dict = {}
+
+    @property
+    def duration(self) -> float:
+        return 0.0
+
+    @property
+    def virtual_seconds(self) -> None:
+        return None
+
+    def set_attr(self, key: str, value) -> None:
+        pass
+
+    def set_attrs(self, **attrs) -> None:
+        pass
+
+    def finish(self) -> None:
+        pass
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Tracer:
+    """Thread-safe span collector.
+
+    Parent/child nesting is tracked with a per-thread span stack, so
+    concurrent pipelines (e.g. a future sharded experiment runner) produce
+    correctly-parented trees without sharing state. Finished spans
+    accumulate under a lock; :meth:`spans` returns a snapshot.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.epoch = time.perf_counter()
+        self._lock = threading.Lock()
+        self._finished: list[Span] = []
+        self._local = threading.local()
+        self._next_id = itertools.count(1).__next__
+
+    # -- recording -----------------------------------------------------------
+    def span(self, name: str, **attrs):
+        """Open a span (context manager). No-op when disabled."""
+        if not self.enabled:
+            return NOOP_SPAN
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        span = Span(
+            name=name,
+            span_id=self._next_id(),
+            parent_id=stack[-1].span_id if stack else None,
+            start=time.perf_counter(),
+            attrs=dict(attrs),
+            thread=threading.get_ident(),
+            tracer=self,
+        )
+        stack.append(span)
+        return span
+
+    def event(self, name: str, **attrs):
+        """Record an instantaneous (zero-duration) span."""
+        span = self.span(name, **attrs)
+        span.finish()
+        return span
+
+    def _finish(self, span: Span) -> None:
+        span.end = time.perf_counter()
+        stack = getattr(self._local, "stack", None)
+        if stack:
+            # Normally `span` is on top; an exception unwinding through
+            # several spans may finish them out of order — pop through.
+            while stack and stack[-1] is not span:
+                stack.pop()
+            if stack:
+                stack.pop()
+        with self._lock:
+            self._finished.append(span)
+
+    # -- inspection ----------------------------------------------------------
+    def spans(self) -> list[Span]:
+        """Snapshot of all finished spans, in completion order."""
+        with self._lock:
+            return list(self._finished)
+
+    def find(self, name: str) -> list[Span]:
+        return [s for s in self.spans() if s.name == name]
+
+    def reset(self) -> None:
+        with self._lock:
+            self._finished.clear()
+        self._local = threading.local()
+        self.epoch = time.perf_counter()
+
+
+# -- process-global default tracer -------------------------------------------
+_default_tracer = Tracer(enabled=False)
+
+
+def get_tracer() -> Tracer:
+    """The process-global tracer all instrumentation points use."""
+    return _default_tracer
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    global _default_tracer
+    _default_tracer = tracer
+    return tracer
+
+
+def enable_tracing(reset: bool = True) -> Tracer:
+    """Turn the global tracer on (clearing old spans by default)."""
+    if reset:
+        _default_tracer.reset()
+    _default_tracer.enabled = True
+    return _default_tracer
+
+
+def disable_tracing() -> Tracer:
+    _default_tracer.enabled = False
+    return _default_tracer
+
+
+def tracing_enabled() -> bool:
+    return _default_tracer.enabled
+
+
+def span(name: str, **attrs):
+    """Convenience: open a span on the global tracer."""
+    return _default_tracer.span(name, **attrs)

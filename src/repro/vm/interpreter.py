@@ -36,6 +36,7 @@ from repro.ir.passes.constfold import (
     fold_icmp,
 )
 from repro.ir.types import to_unsigned, wrap_int
+from repro.obs import get_metrics, metrics_enabled
 from repro.vm.intrinsics import INTRINSICS
 from repro.vm.memory import Memory
 from repro.vm.profiler import ExecutionProfile
@@ -93,6 +94,10 @@ class Interpreter:
         self.custom_evaluators: dict[int, object] = {}
         # Compiled-block cache: id(block) -> (phi_plan, body_handlers)
         self._compiled: dict[int, tuple] = {}
+        # Observability: intrinsic-call counts, flushed to the metrics
+        # registry once per run (never touched on the hot path unless
+        # metrics were enabled when the block was compiled).
+        self._intrinsic_counts: dict[str, int] = {}
 
     # -- public API ----------------------------------------------------------
     def run(self, function_name: str = "main", args: list | None = None) -> ExecutionResult:
@@ -101,6 +106,18 @@ class Interpreter:
         self._steps = 0
         self._profile = ExecutionProfile(self.module.name)
         value = self._call(func, list(args or []))
+        registry = get_metrics()
+        if registry.enabled:
+            # Counters are flushed once per run (sampled, not per step) so
+            # metrics collection never slows the interpretation loop.
+            registry.counter("vm.runs").inc()
+            registry.counter("vm.instructions").inc(self._steps)
+            registry.counter("vm.block_executions").inc(
+                self._profile.total_block_executions
+            )
+            for name, count in self._intrinsic_counts.items():
+                registry.counter(f"vm.intrinsic.{name}").inc(count)
+            self._intrinsic_counts.clear()
         return ExecutionResult(
             return_value=value,
             profile=self._profile,
@@ -423,6 +440,27 @@ class Interpreter:
                 if intr is None:
                     raise VMError(f"unknown intrinsic {callee!r}")
                 fn = intr.fn
+
+                # Intrinsic-call counting is baked in at block-compile time:
+                # with metrics disabled (the default) the handlers below are
+                # count-free, so observability costs the hot loop nothing.
+                if metrics_enabled():
+                    counts = self._intrinsic_counts
+                    name = callee
+
+                    if has_result:
+
+                        def h(env):
+                            counts[name] = counts.get(name, 0) + 1
+                            env[key] = fn(self, *[g(env) for g in getters])
+
+                    else:
+
+                        def h(env):
+                            counts[name] = counts.get(name, 0) + 1
+                            fn(self, *[g(env) for g in getters])
+
+                    return h
 
                 if has_result:
 

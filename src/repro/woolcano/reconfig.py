@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.fpga.bitgen import PartialBitstream
+from repro.obs import get_metrics, get_tracer
 
 
 @dataclass(frozen=True)
@@ -38,6 +39,17 @@ class IcapModel:
 
     def reconfigure(self, custom_id: int, bitstream: PartialBitstream) -> ReconfigurationEvent:
         seconds = self.setup_seconds + bitstream.size_bytes / self.bytes_per_second
+        get_tracer().event(
+            "icap.reconfigure",
+            custom_id=custom_id,
+            bytes=bitstream.size_bytes,
+            virtual_seconds=seconds,
+        )
+        registry = get_metrics()
+        if registry.enabled:
+            registry.counter("icap.reconfigurations").inc()
+            registry.counter("icap.bytes_written").inc(bitstream.size_bytes)
+            registry.histogram("icap.seconds").observe(seconds)
         return ReconfigurationEvent(
             custom_id=custom_id,
             bytes_written=bitstream.size_bytes,

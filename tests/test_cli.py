@@ -53,3 +53,52 @@ class TestCommands:
     def test_unknown_app_raises(self):
         with pytest.raises(KeyError):
             main(["analyze", "999.bogus"])
+
+
+@pytest.mark.trace_smoke
+class TestTraceCommands:
+    def test_jit_trace_metrics_round_trip(self, tmp_path, capsys):
+        """One embedded app, traced end to end, then replayed."""
+        from repro import obs
+
+        trace_file = tmp_path / "out.jsonl"
+        assert main(["jit", "sor", "--trace", str(trace_file), "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert f"wrote" in out and "metrics snapshot:" in out
+        assert "vm.instructions" in out
+        assert not obs.tracing_enabled() and not obs.metrics_enabled()
+
+        records = obs.read_jsonl(trace_file)
+        assert obs.validate_trace(records) == []
+        names = {r.name for r in records}
+        assert "search" in names and "icap.reconfigure" in names
+        assert set(obs.TABLE3_SPAN_NAMES) <= names
+
+        assert main(["trace", str(trace_file), "--timeline"]) == 0
+        out = capsys.readouterr().out
+        assert "Per-stage times" in out
+        for label in ("C2V", "Syn", "Xst", "Tra", "Map", "PAR", "Bitgen"):
+            assert label in out
+        assert "pipeline.run" in out  # timeline section
+
+    def test_trace_rejects_invalid_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"name": "", "span_id": 1, "t0": 0, "t1": 1}\n')
+        assert main(["trace", str(bad)]) == 1
+        assert "invalid trace" in capsys.readouterr().err
+
+    def test_trace_chrome_export(self, tmp_path, capsys):
+        import json
+
+        from repro import obs
+
+        trace_file = tmp_path / "out.jsonl"
+        tracer = obs.Tracer()
+        with tracer.span("cad.map") as sp:
+            sp.set_attr("virtual_seconds", 40.0)
+        obs.export_tracer(tracer, trace_file)
+
+        chrome_file = tmp_path / "chrome.json"
+        assert main(["trace", str(trace_file), "--chrome", str(chrome_file)]) == 0
+        doc = json.loads(chrome_file.read_text())
+        assert doc["traceEvents"][0]["name"] == "Map"

@@ -1,0 +1,309 @@
+"""Tests for the observability layer (repro.obs): tracer, metrics, export."""
+
+from __future__ import annotations
+
+import io
+import threading
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs.tracer import NOOP_SPAN, Tracer
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.vm import Interpreter
+
+
+@pytest.fixture
+def tracer():
+    """A fresh, enabled global tracer; disabled again on teardown."""
+    try:
+        yield obs.enable_tracing()
+    finally:
+        obs.disable_tracing()
+
+
+@pytest.fixture
+def metrics():
+    """A fresh, enabled global metrics registry; disabled on teardown."""
+    try:
+        yield obs.enable_metrics()
+    finally:
+        obs.disable_metrics()
+
+
+class TestTracer:
+    def test_nesting_and_attributes(self, tracer):
+        with tracer.span("outer", app="fft") as outer:
+            with tracer.span("inner") as inner:
+                inner.set_attr("luts", 42)
+            outer.set_attrs(selected=3)
+        spans = tracer.spans()
+        assert [s.name for s in spans] == ["inner", "outer"]
+        by_name = {s.name: s for s in spans}
+        assert by_name["inner"].parent_id == by_name["outer"].span_id
+        assert by_name["outer"].parent_id is None
+        assert by_name["outer"].attrs == {"app": "fft", "selected": 3}
+        assert by_name["inner"].attrs == {"luts": 42}
+        assert by_name["inner"].duration >= 0.0
+        assert by_name["outer"].end >= by_name["outer"].start
+
+    def test_siblings_share_parent(self, tracer):
+        with tracer.span("root") as root:
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        a, b = tracer.find("a")[0], tracer.find("b")[0]
+        assert a.parent_id == b.parent_id == root.span_id
+
+    def test_exception_records_error_and_unwinds(self, tracer):
+        with pytest.raises(ValueError):
+            with tracer.span("outer"):
+                with tracer.span("failing"):
+                    raise ValueError("boom")
+        failing = tracer.find("failing")[0]
+        assert failing.attrs["error"] == "ValueError"
+        # Parenting still works after the unwind.
+        with tracer.span("after"):
+            pass
+        assert tracer.find("after")[0].parent_id is None
+
+    def test_event_is_instantaneous(self, tracer):
+        span = tracer.event("icap.reconfigure", bytes=128)
+        assert span.end is not None
+        assert tracer.find("icap.reconfigure") == [span]
+
+    def test_disabled_tracer_returns_noop_singleton(self):
+        obs.disable_tracing()
+        t = obs.get_tracer()
+        span = t.span("anything", x=1)
+        assert span is NOOP_SPAN
+        with span as s:
+            s.set_attr("k", "v")
+        assert s.attrs == {}
+        assert s.duration == 0.0
+
+    def test_reset_clears_spans(self, tracer):
+        with tracer.span("x"):
+            pass
+        tracer.reset()
+        assert tracer.spans() == []
+
+    def test_threads_get_independent_stacks(self):
+        t = Tracer()
+        done = threading.Event()
+
+        def worker():
+            with t.span("worker-root"):
+                with t.span("worker-child"):
+                    done.wait(5)
+
+        th = threading.Thread(target=worker)
+        with t.span("main-root"):
+            th.start()
+            time.sleep(0.01)
+            with t.span("main-child"):
+                pass
+            done.set()
+            th.join()
+        by_name = {s.name: s for s in t.spans()}
+        assert by_name["main-child"].parent_id == by_name["main-root"].span_id
+        assert (
+            by_name["worker-child"].parent_id == by_name["worker-root"].span_id
+        )
+        assert by_name["worker-root"].parent_id is None
+
+
+class TestNoOpOverhead:
+    def test_disabled_span_overhead_is_negligible(self):
+        """Guard: a disabled tracer's span() must stay sub-microsecond-ish."""
+        obs.disable_tracing()
+        t = obs.get_tracer()
+        n = 50_000
+        start = time.perf_counter()
+        for _ in range(n):
+            with t.span("hot"):
+                pass
+        per_call = (time.perf_counter() - start) / n
+        assert per_call < 5e-6, f"no-op span cost {per_call * 1e6:.2f} µs"
+
+    def test_disabled_metrics_leave_interpreter_untouched(self, fp_kernel):
+        obs.disable_metrics()
+        obs.get_metrics().reset()
+        interp = Interpreter(fp_kernel.module, dataset_size=16, dataset_seed=3)
+        result = interp.run("main")
+        assert result.steps > 0
+        assert interp._intrinsic_counts == {}
+        snap = obs.get_metrics().snapshot()
+        assert snap["counters"] == {} and snap["histograms"] == {}
+
+
+class TestMetrics:
+    def test_counter_gauge_histogram_snapshot(self):
+        reg = MetricsRegistry()
+        reg.counter("runs").inc()
+        reg.counter("runs").inc(2)
+        reg.gauge("occupancy").set(0.75)
+        hist = reg.histogram("seconds", buckets=(1.0, 10.0))
+        for v in (0.5, 5.0, 50.0):
+            hist.observe(v)
+        snap = reg.snapshot()
+        assert snap["counters"]["runs"] == 3
+        assert snap["gauges"]["occupancy"] == 0.75
+        h = snap["histograms"]["seconds"]
+        assert h["count"] == 3
+        assert h["sum"] == pytest.approx(55.5)
+        assert h["min"] == 0.5 and h["max"] == 50.0
+        assert h["buckets"] == {"le_1": 1, "le_10": 1, "inf": 1}
+
+    def test_histogram_bucket_edges(self):
+        hist = Histogram("h", buckets=(1.0,))
+        hist.observe(1.0)  # on the bound -> first bucket (le semantics)
+        hist.observe(1.0001)
+        assert hist.bucket_counts == [1, 1]
+
+    def test_registry_reset_and_render(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        text = obs.render_snapshot(reg.snapshot())
+        assert "a" in text
+        reg.reset()
+        assert obs.render_snapshot(reg.snapshot()) == "(no metrics recorded)"
+
+    def test_interpreter_counts_instructions_and_intrinsics(
+        self, fp_kernel, metrics
+    ):
+        interp = Interpreter(fp_kernel.module, dataset_size=16, dataset_seed=3)
+        result = interp.run("main")
+        snap = metrics.snapshot()
+        assert snap["counters"]["vm.instructions"] == result.steps
+        assert snap["counters"]["vm.runs"] == 1
+        assert snap["counters"]["vm.intrinsic.rand"] > 0
+        assert snap["counters"]["vm.intrinsic.print_f64"] == 1
+
+
+class TestExport:
+    def _sample_tracer(self) -> Tracer:
+        t = Tracer()
+        with t.span("pipeline.run", app="sor"):
+            with t.span("cad.map", luts=12) as sp:
+                sp.set_attr("virtual_seconds", 40.0)
+        return t
+
+    def test_jsonl_round_trip(self, tmp_path):
+        t = self._sample_tracer()
+        path = tmp_path / "trace.jsonl"
+        assert obs.write_jsonl(t.spans(), path, epoch=t.epoch) == 2
+        records = obs.read_jsonl(path)
+        assert obs.validate_trace(records) == []
+        by_name = {r.name: r for r in records}
+        assert set(by_name) == {"pipeline.run", "cad.map"}
+        cad = by_name["cad.map"]
+        assert cad.parent_id == by_name["pipeline.run"].span_id
+        assert cad.attrs["luts"] == 12
+        assert cad.virtual_seconds == 40.0
+        assert cad.t1 >= cad.t0 >= 0.0
+
+    def test_jsonl_file_object_round_trip(self):
+        t = self._sample_tracer()
+        buf = io.StringIO()
+        obs.write_jsonl(t.spans(), buf, epoch=t.epoch)
+        records = obs.read_jsonl(io.StringIO(buf.getvalue()))
+        assert len(records) == 2
+
+    def test_validate_catches_bad_records(self):
+        good = obs.SpanRecord("x", 1, None, 0.0, 1.0)
+        assert obs.validate_trace([good]) == []
+        bad = [
+            obs.SpanRecord("", 1, None, 0.0, 1.0),
+            obs.SpanRecord("y", 1, None, 0.0, 1.0),  # duplicate id
+            obs.SpanRecord("z", 2, 99, 2.0, 1.0),  # bad parent, t1 < t0
+        ]
+        errors = obs.validate_trace(bad)
+        assert len(errors) == 4
+
+    def test_read_rejects_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json}\n")
+        with pytest.raises(ValueError, match="line 1"):
+            obs.read_jsonl(path)
+
+    def test_chrome_trace_shape(self):
+        t = self._sample_tracer()
+        buf = io.StringIO()
+        obs.write_jsonl(t.spans(), buf, epoch=t.epoch)
+        records = obs.read_jsonl(io.StringIO(buf.getvalue()))
+        doc = obs.chrome_trace(records)
+        assert {e["ph"] for e in doc["traceEvents"]} == {"X"}
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert "Map" in names  # paper label substituted for cad.map
+        assert all(e["dur"] >= 0 for e in doc["traceEvents"])
+
+    def test_stage_table_and_timeline_render(self):
+        t = self._sample_tracer()
+        buf = io.StringIO()
+        obs.write_jsonl(t.spans(), buf, epoch=t.epoch)
+        records = obs.read_jsonl(io.StringIO(buf.getvalue()))
+        table = obs.render_stage_table(records)
+        assert "Map [cad.map]" in table and "total" in table
+        timeline = obs.render_timeline(records)
+        assert "pipeline.run" in timeline and "cad.map" in timeline
+        assert obs.render_timeline([]) == "(empty trace)"
+
+
+class TestEndToEndPipelineTrace:
+    def test_pipeline_emits_paper_stage_spans(self, fp_kernel, tracer):
+        from repro.core import JitIseSystem
+
+        result = JitIseSystem().run_application(
+            fp_kernel, dataset_size=16, dataset_seed=3
+        )
+        assert result.output_equal
+        spans = tracer.spans()
+        names = {s.name for s in spans}
+
+        # Candidate search with its four sub-phases.
+        assert {
+            "search",
+            "search.pruning",
+            "search.identification",
+            "search.estimation",
+            "search.selection",
+        } <= names
+        # Every Table III CAD stage, plus reconfiguration.
+        assert set(obs.TABLE3_SPAN_NAMES) <= names
+        assert "icap.reconfigure" in names
+        # Pipeline phases.
+        assert {
+            "pipeline.run",
+            "pipeline.baseline",
+            "pipeline.specialize",
+            "pipeline.adapt",
+            "pipeline.verify",
+        } <= names
+
+        # CAD stage spans nest under cad.implement -> asip_sp.candidate.
+        by_id = {s.span_id: s for s in spans}
+        for span in spans:
+            if span.name in obs.TABLE3_SPAN_NAMES:
+                parent = by_id[span.parent_id]
+                assert parent.name == "cad.implement"
+                assert by_id[parent.parent_id].name == "asip_sp.candidate"
+                assert span.virtual_seconds is not None
+        # Per-candidate spans carry the shared/failed accounting attrs.
+        for span in spans:
+            if span.name == "asip_sp.candidate":
+                assert "shared" in span.attrs and "failed" in span.attrs
+
+    def test_trace_exports_and_replays(self, fp_kernel, tracer, tmp_path):
+        from repro.core import JitIseSystem
+
+        JitIseSystem().run_application(fp_kernel, dataset_size=16, dataset_seed=3)
+        path = tmp_path / "pipeline.jsonl"
+        obs.export_tracer(tracer, path)
+        records = obs.read_jsonl(path)
+        assert obs.validate_trace(records) == []
+        table = obs.render_stage_table(records)
+        for label in ("C2V", "Syn", "Xst", "Tra", "Map", "PAR", "Bitgen", "ICAP"):
+            assert label in table
