@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test trace-smoke tables
+.PHONY: test trace-smoke fidelity tables
 
 # Tier-1 verification: the full test suite.
 test:
@@ -11,6 +11,12 @@ test:
 # validate the exported trace schema, and replay it as a stage-time table.
 trace-smoke:
 	$(PYTHON) -m pytest -q -m trace_smoke tests/test_cli.py
+
+# Reproduction fidelity: compare the embedded-suite run (incl. the Table IV
+# extrapolation factor) against the paper's published table values and write
+# a machine-readable BENCH_fidelity_embedded.json report.
+fidelity:
+	$(PYTHON) -m repro fidelity --domain embedded --full --out BENCH_fidelity_embedded.json
 
 tables:
 	$(PYTHON) -m repro tables all

@@ -8,7 +8,13 @@ Commands:
 - ``analyze <app>`` — full analysis of one application (Table I+II row);
 - ``jit <app>`` — run the end-to-end JIT flow on one application;
 - ``timeline <app>`` — concurrent-specialization timeline (extension);
-- ``trace <file>`` — replay a saved trace as a per-stage time table.
+- ``trace <file>`` — replay a saved trace as a per-stage time table;
+- ``profile <app|file>`` — hierarchical self/total-time profile of a run
+  (hot-path table, collapsed-stack flamegraph lines, profile tree);
+- ``heat <app>`` — heat-annotated IR listing (per-block time share,
+  kernel blocks flagged);
+- ``fidelity`` — compare a run's tables against the paper's published
+  values and write a machine-readable ``BENCH_*.json`` report.
 
 Every command accepts ``--trace FILE`` (export a JSONL span trace of the
 run) and ``--metrics`` (print a metrics snapshot after the run); see
@@ -175,6 +181,115 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _traced_run_records(app_name: str):
+    """Run the end-to-end JIT flow on *app_name* under the global tracer
+    and return the finished spans as records.
+
+    If tracing is already on (the user passed ``--trace``), the run's spans
+    simply join the global trace and get exported too; otherwise tracing is
+    enabled just for this run and switched back off afterwards.
+    """
+    from repro import obs
+    from repro.apps import compile_app, get_app
+    from repro.core import JitIseSystem
+
+    tracer = obs.get_tracer()
+    was_enabled = tracer.enabled
+    if not was_enabled:
+        obs.enable_tracing()
+    try:
+        spec = get_app(app_name)
+        compiled = compile_app(spec)
+        JitIseSystem().run_application(
+            compiled.compilation,
+            dataset_size=spec.train.size,
+            dataset_seed=spec.train.seed,
+        )
+        return obs.tracer_records(tracer)
+    finally:
+        if not was_enabled:
+            obs.disable_tracing()
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import os
+
+    from repro import obs
+
+    if os.path.exists(args.target):
+        try:
+            records = obs.read_jsonl(args.target)
+        except ValueError as exc:
+            print(f"invalid trace: {exc}", file=sys.stderr)
+            return 1
+    else:
+        records = _traced_run_records(args.target)
+    if not records:
+        print("(empty trace: nothing to profile)")
+        return 0
+    profile = obs.build_profile(records)
+    print(profile.hot_table(clock=args.clock, top=args.top).render())
+    if args.tree:
+        print()
+        print(profile.render(clock=args.clock))
+    if args.collapsed:
+        lines = profile.collapsed(clock=args.clock)
+        if args.collapsed == "-":
+            print()
+            for line in lines:
+                print(line)
+        else:
+            with open(args.collapsed, "w", encoding="utf-8") as fh:
+                fh.write("\n".join(lines) + ("\n" if lines else ""))
+            print(
+                f"\nwrote {len(lines)} collapsed stacks ({args.clock} time) "
+                f"to {args.collapsed}"
+            )
+    return 0
+
+
+def _cmd_heat(args: argparse.Namespace) -> int:
+    from repro.apps import compile_app, get_app
+    from repro.obs.heat import compute_heat, render_heat
+
+    spec = get_app(args.app)
+    compiled = compile_app(spec)
+    profile = compiled.run(spec.train).profile
+    heat = compute_heat(
+        compiled.module, profile, kernel_threshold=args.threshold
+    )
+    try:
+        print(
+            render_heat(
+                compiled.module, heat, function=args.function, top=args.top
+            )
+        )
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_fidelity(args: argparse.Namespace) -> int:
+    from repro.obs.fidelity import default_report_path, run_fidelity
+
+    out = args.out or default_report_path(args.domain)
+    report = run_fidelity(
+        domain=args.domain, out=out, include_table4=args.full
+    )
+    print(report.render())
+    print(f"\nwrote fidelity report: {out}")
+    if not report.ok:
+        for cell in report.failures:
+            print(
+                f"FAIL {cell.table} {cell.row}/{cell.column}: "
+                f"expected {cell.expected:g}, got {cell.actual:g}",
+                file=sys.stderr,
+            )
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -217,6 +332,80 @@ def build_parser() -> argparse.ArgumentParser:
         p = sub.add_parser(name, parents=[obs_options], help=help_text)
         p.add_argument("app", help="application name, e.g. fft or 470.lbm")
         p.set_defaults(fn=fn)
+
+    p_profile = sub.add_parser(
+        "profile",
+        parents=[obs_options],
+        help="hierarchical self/total-time profile of a run",
+    )
+    p_profile.add_argument(
+        "target", help="application name, or a JSONL trace written by --trace"
+    )
+    p_profile.add_argument(
+        "--clock",
+        choices=["real", "virtual"],
+        default="real",
+        help="which clock to profile: measured perf_counter time or the "
+        "modelled CAD virtual_seconds (default: real)",
+    )
+    p_profile.add_argument(
+        "--top", type=int, default=15, help="rows in the hot-path table"
+    )
+    p_profile.add_argument(
+        "--tree", action="store_true", help="also print the full profile tree"
+    )
+    p_profile.add_argument(
+        "--collapsed",
+        metavar="FILE",
+        default=None,
+        help="write Brendan-Gregg collapsed stacks for flamegraph.pl / "
+        "speedscope ('-' = stdout)",
+    )
+    p_profile.set_defaults(fn=_cmd_profile)
+
+    p_heat = sub.add_parser(
+        "heat",
+        parents=[obs_options],
+        help="heat-annotated IR listing (block time shares, kernel flags)",
+    )
+    p_heat.add_argument("app", help="application name, e.g. fft or 470.lbm")
+    p_heat.add_argument(
+        "--function", default=None, help="print only this function"
+    )
+    p_heat.add_argument(
+        "--top", type=int, default=10, help="rows in the hottest-block table"
+    )
+    p_heat.add_argument(
+        "--threshold",
+        type=float,
+        default=0.90,
+        help="kernel time-coverage threshold (paper: 0.90)",
+    )
+    p_heat.set_defaults(fn=_cmd_heat)
+
+    p_fidelity = sub.add_parser(
+        "fidelity",
+        parents=[obs_options],
+        help="compare a run against the paper's published table values",
+    )
+    p_fidelity.add_argument(
+        "--domain",
+        choices=["embedded", "scientific", "all"],
+        default="embedded",
+        help="application subset to analyze (default: embedded)",
+    )
+    p_fidelity.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="report path (default: BENCH_fidelity_<domain>.json)",
+    )
+    p_fidelity.add_argument(
+        "--full",
+        action="store_true",
+        help="also check the Table IV cache/CAD extrapolation factor",
+    )
+    p_fidelity.set_defaults(fn=_cmd_fidelity)
 
     p_trace = sub.add_parser(
         "trace", help="replay a saved JSONL trace as a per-stage time table"

@@ -137,7 +137,25 @@ def analyze_app(
     return analysis
 
 
-def analyze_suite(domain: str | None = None) -> list[AppAnalysis]:
-    """Analyze every application (optionally one domain), in paper order."""
+def analyze_suite(
+    domain: str | None = None, fidelity_out=None
+) -> list[AppAnalysis]:
+    """Analyze every application (optionally one domain), in paper order.
+
+    With *fidelity_out* set, the run's aggregate tables are additionally
+    compared cell-by-cell against the paper's published values and the
+    resulting report is written there as ``BENCH_*.json``
+    (:mod:`repro.obs.fidelity`) — so any experiment run can double as a
+    reproduction-fidelity data point.
+    """
     apps = [a for a in ALL_APPS if domain is None or a.domain == domain]
-    return [analyze_app(a.name) for a in apps]
+    with get_tracer().span(
+        "analysis.suite", domain=domain or "all", apps=len(apps)
+    ):
+        analyses = [analyze_app(a.name) for a in apps]
+    if fidelity_out is not None:
+        from repro.obs.fidelity import fidelity_from_analyses
+
+        report = fidelity_from_analyses(analyses, domain=domain or "all")
+        report.write(fidelity_out)
+    return analyses

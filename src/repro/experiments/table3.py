@@ -52,9 +52,15 @@ class Table3:
         return table.render()
 
 
-def generate_table3() -> Table3:
+def table3_from(analyses) -> Table3:
+    """Build Table III statistics from an already-analyzed app list.
+
+    Used by :func:`generate_table3` (full suite) and by the fidelity
+    harness (:mod:`repro.obs.fidelity`), which compares a subset of the
+    suite against the paper's published constants.
+    """
     stage_values: dict[str, list[float]] = {s: [] for s in Table3.STAGES}
-    for analysis in analyze_suite():
+    for analysis in analyses:
         for ci in analysis.specialization.implementations:
             t = ci.times
             stage_values["c2v"].append(t.c2v)
@@ -76,3 +82,7 @@ def generate_table3() -> Table3:
         means[stage] = mean
         stdevs[stage] = math.sqrt(var)
     return Table3(means=means, stdevs=stdevs, samples=n)
+
+
+def generate_table3() -> Table3:
+    return table3_from(analyze_suite())

@@ -88,18 +88,26 @@ _CAST_NAMES = {
 }
 
 
-def print_function(func: Function) -> str:
+def print_function(func: Function, annotate=None) -> str:
+    """Print one function; ``annotate(func_name, block_name)`` may return a
+    comment appended to that block's label line (profiling heat, coverage
+    classes, ...) or None for no annotation."""
     args = ", ".join(f"{a.type} %{a.name}" for a in func.args)
     lines = [f"define {func.return_type} @{func.name}({args}) {{"]
     for block in func.blocks:
-        lines.append(f"{block.name}:")
+        label = f"{block.name}:"
+        if annotate is not None:
+            note = annotate(func.name, block.name)
+            if note:
+                label = f"{label}{' ' * max(1, 24 - len(label))}; {note}"
+        lines.append(label)
         for instr in block.instructions:
             lines.append(f"  {format_instruction(instr)}")
     lines.append("}")
     return "\n".join(lines)
 
 
-def print_module(module: Module) -> str:
+def print_module(module: Module, annotate=None) -> str:
     parts = [f"; module {module.name}"]
     for gv in module.globals.values():
         if gv.initializer is None:
@@ -113,5 +121,5 @@ def print_module(module: Module) -> str:
             args = ", ".join(str(a.type) for a in func.args)
             parts.append(f"declare {func.return_type} @{func.name}({args})")
         else:
-            parts.append(print_function(func))
+            parts.append(print_function(func, annotate=annotate))
     return "\n\n".join(parts)

@@ -11,7 +11,16 @@ evidence on demand:
   histograms behind a :class:`MetricsRegistry`;
 - :mod:`repro.obs.export` — JSONL round-trip, Chrome ``trace_event``
   dump, and ASCII stage-table / timeline renderers keyed to the paper's
-  stage names.
+  stage names;
+- :mod:`repro.obs.profile` — span trace folded into a hierarchical
+  self-time/total-time profile tree with collapsed-stack flamegraph
+  export and a top-N hot-path table;
+- :mod:`repro.obs.heat` — per-basic-block heat annotations (profile
+  counts x cost model) rendered through the IR printer, kernel blocks
+  flagged (lazy import: pulls the IR/VM layers);
+- :mod:`repro.obs.fidelity` — golden-reference harness comparing a run's
+  tables cell-by-cell against the paper's published values, emitting a
+  ``BENCH_*.json`` report (lazy import: pulls the experiments layer).
 
 Enable both at once with :func:`enable` (the CLI's ``--trace`` /
 ``--metrics`` flags call this).
@@ -51,10 +60,38 @@ from repro.obs.export import (
     render_stage_table,
     render_timeline,
     stage_table,
+    tracer_records,
     validate_trace,
     write_chrome_trace,
     write_jsonl,
 )
+from repro.obs.profile import Profile, ProfileNode, build_profile
+
+# The heat and fidelity layers sit *above* the substrate: they import the
+# IR/VM/experiments packages, which themselves import repro.obs — so they
+# are exposed lazily (PEP 562) to keep `import repro.obs` light and
+# cycle-free from any entry point.
+_LAZY_EXPORTS = {
+    "BlockHeat": "repro.obs.heat",
+    "HeatMap": "repro.obs.heat",
+    "compute_heat": "repro.obs.heat",
+    "heat_table": "repro.obs.heat",
+    "render_heat": "repro.obs.heat",
+    "CellCheck": "repro.obs.fidelity",
+    "FidelityReport": "repro.obs.fidelity",
+    "default_report_path": "repro.obs.fidelity",
+    "fidelity_from_analyses": "repro.obs.fidelity",
+    "run_fidelity": "repro.obs.fidelity",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
 
 
 def enable(tracing: bool = True, metrics: bool = True) -> None:
@@ -71,18 +108,32 @@ def disable() -> None:
 
 
 __all__ = [
+    "BlockHeat",
+    "CellCheck",
     "Counter",
+    "FidelityReport",
     "Gauge",
+    "HeatMap",
     "Histogram",
     "MetricsRegistry",
     "NOOP_SPAN",
     "PAPER_STAGES",
     "PAPER_STAGE_LABELS",
+    "Profile",
+    "ProfileNode",
     "TABLE3_SPAN_NAMES",
     "Span",
     "SpanRecord",
     "Tracer",
+    "build_profile",
     "chrome_trace",
+    "compute_heat",
+    "default_report_path",
+    "fidelity_from_analyses",
+    "heat_table",
+    "render_heat",
+    "run_fidelity",
+    "tracer_records",
     "disable",
     "disable_metrics",
     "disable_tracing",

@@ -124,6 +124,28 @@ def export_tracer(tracer: Tracer, path_or_file) -> int:
     return write_jsonl(tracer.spans(), path_or_file, epoch=tracer.epoch)
 
 
+def tracer_records(tracer: Tracer) -> list[SpanRecord]:
+    """In-memory :class:`SpanRecord` view of a tracer's finished spans.
+
+    Same shape a JSONL round-trip would produce (times relative to the
+    tracer's epoch), without touching disk — the profile builder
+    (:mod:`repro.obs.profile`) consumes this directly.
+    """
+    epoch = tracer.epoch
+    return [
+        SpanRecord(
+            name=s.name,
+            span_id=s.span_id,
+            parent_id=s.parent_id,
+            t0=s.start - epoch,
+            t1=(s.end if s.end is not None else s.start) - epoch,
+            thread=s.thread,
+            attrs=dict(s.attrs),
+        )
+        for s in tracer.spans()
+    ]
+
+
 def read_jsonl(path_or_file) -> list[SpanRecord]:
     """Load a JSONL trace back into :class:`SpanRecord` objects."""
     if hasattr(path_or_file, "read"):

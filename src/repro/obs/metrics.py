@@ -96,18 +96,56 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float | None:
+        """Bucket-interpolated q-quantile (q in [0, 1]); None when empty.
+
+        Within the bucket holding the target rank the value is linearly
+        interpolated between the bucket's bounds (the observed min/max stand
+        in for the open outer edges), so the estimate is exact at q=0/q=1
+        and never leaves the observed range.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            return self._percentile(q)
+
+    def _percentile(self, q: float) -> float | None:
+        if self.count == 0:
+            return None
+        rank = q * self.count
+        cumulative = 0
+        for i, bucket_count in enumerate(self.bucket_counts):
+            if bucket_count == 0:
+                cumulative += bucket_count
+                continue
+            if cumulative + bucket_count >= rank:
+                lower = self.min if i == 0 else self.bounds[i - 1]
+                upper = self.max if i == len(self.bounds) else self.bounds[i]
+                lower = max(lower, self.min)
+                upper = min(upper, self.max)
+                if upper <= lower:
+                    return lower
+                frac = (rank - cumulative) / bucket_count
+                return lower + (upper - lower) * max(0.0, min(1.0, frac))
+            cumulative += bucket_count
+        return self.max
+
     def as_dict(self) -> dict:
-        return {
-            "count": self.count,
-            "sum": self.sum,
-            "mean": self.mean,
-            "min": self.min if self.count else None,
-            "max": self.max if self.count else None,
-            "buckets": {
-                **{f"le_{b:g}": c for b, c in zip(self.bounds, self.bucket_counts)},
-                "inf": self.bucket_counts[-1],
-            },
-        }
+        with self._lock:
+            return {
+                "count": self.count,
+                "sum": self.sum,
+                "mean": self.mean,
+                "min": self.min if self.count else None,
+                "max": self.max if self.count else None,
+                "p50": self._percentile(0.50),
+                "p95": self._percentile(0.95),
+                "p99": self._percentile(0.99),
+                "buckets": {
+                    **{f"le_{b:g}": c for b, c in zip(self.bounds, self.bucket_counts)},
+                    "inf": self.bucket_counts[-1],
+                },
+            }
 
 
 @dataclass
@@ -173,10 +211,15 @@ def render_snapshot(snap: dict) -> str:
     if snap.get("histograms"):
         lines.append("histograms:")
         for name, h in snap["histograms"].items():
+            quantiles = " ".join(
+                f"{label}={h[label]:.4g}" if h.get(label) is not None else f"{label}=-"
+                for label in ("p50", "p95", "p99")
+            )
             lines.append(
                 f"  {name:40s} count={h['count']} mean={h['mean']:.4g} "
                 f"min={h['min'] if h['min'] is not None else '-'} "
-                f"max={h['max'] if h['max'] is not None else '-'}"
+                f"max={h['max'] if h['max'] is not None else '-'} "
+                f"{quantiles}"
             )
     return "\n".join(lines) if lines else "(no metrics recorded)"
 

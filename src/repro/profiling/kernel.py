@@ -37,6 +37,13 @@ class KernelAnalysis:
         """Time share actually covered ("freq" in Table I)."""
         return 100.0 * self.time_share
 
+    @property
+    def block_set(self) -> frozenset[BlockKey]:
+        return frozenset(self.blocks)
+
+    def __contains__(self, key: BlockKey) -> bool:
+        return key in self.block_set
+
 
 def compute_kernel(
     module: Module,

@@ -54,10 +54,16 @@ def format_hhmmss(seconds: float) -> str:
 def parse_hms(text: str) -> float:
     """Parse ``m:ss`` / ``h:mm:ss`` / ``d:hh:mm:ss`` into seconds.
 
-    Used by tests to compare against the paper's published table cells.
+    Used by tests and the fidelity harness to compare against the paper's
+    published table cells. Every component must be a plain non-negative
+    decimal integer: negative, empty, or non-digit parts (``"1:-5"``,
+    ``"1::5"``, ``"inf"``) raise ``ValueError`` instead of mis-parsing.
     """
-    parts = [int(p) for p in text.strip().split(":")]
+    parts = text.strip().split(":")
     if not 1 <= len(parts) <= 4:
         raise ValueError(f"unparseable duration: {text!r}")
+    for part in parts:
+        if not part.isdigit():
+            raise ValueError(f"unparseable duration: {text!r}")
     weights = [1, 60, 3600, 86400]
-    return float(sum(p * w for p, w in zip(reversed(parts), weights)))
+    return float(sum(int(p) * w for p, w in zip(reversed(parts), weights)))

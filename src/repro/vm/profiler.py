@@ -92,15 +92,21 @@ class ExecutionProfile:
             total += prof.count * cost
         return total
 
+    def block_cycles(
+        self, module: Module, cost_model: CostModel
+    ) -> dict[BlockKey, float]:
+        """Total cycles spent in each profiled block (count x static cost)."""
+        costs = static_block_costs(module, cost_model)
+        return {
+            key: prof.count * costs.get(key, 0.0)
+            for key, prof in self.blocks.items()
+        }
+
     def block_time_shares(
         self, module: Module, cost_model: CostModel
     ) -> dict[BlockKey, float]:
         """Fraction of total execution time spent in each block."""
-        costs = static_block_costs(module, cost_model)
-        per_block = {
-            key: prof.count * costs.get(key, 0.0)
-            for key, prof in self.blocks.items()
-        }
+        per_block = self.block_cycles(module, cost_model)
         total = sum(per_block.values())
         if total <= 0:
             return {key: 0.0 for key in per_block}

@@ -20,6 +20,20 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["analyze"])
 
+    def test_profile_requires_target_and_valid_clock(self):
+        args = build_parser().parse_args(["profile", "sor", "--clock", "virtual"])
+        assert args.target == "sor" and args.clock == "virtual"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["profile"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["profile", "sor", "--clock", "wall"])
+
+    def test_fidelity_rejects_unknown_domain(self):
+        args = build_parser().parse_args(["fidelity"])
+        assert args.domain == "embedded" and not args.full
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fidelity", "--domain", "bogus"])
+
 
 class TestCommands:
     def test_apps_lists_suite(self, capsys):
@@ -102,3 +116,119 @@ class TestTraceCommands:
         assert main(["trace", str(trace_file), "--chrome", str(chrome_file)]) == 0
         doc = json.loads(chrome_file.read_text())
         assert doc["traceEvents"][0]["name"] == "Map"
+
+    def test_profile_app_collapsed_stdout(self, capsys):
+        """The end-to-end pipeline profiled on the virtual clock carries
+        one collapsed frame per Table III CAD stage."""
+        from repro import obs
+
+        assert main(["profile", "sor", "--clock", "virtual",
+                     "--collapsed", "-", "--tree"]) == 0
+        out = capsys.readouterr().out
+        assert "Hot paths (virtual time)" in out
+        assert "profile (virtual time)" in out  # --tree section
+        assert not obs.tracing_enabled()  # switched back off after the run
+        collapsed = [l for l in out.splitlines() if ";" in l and l[-1].isdigit()]
+        for stage in obs.TABLE3_SPAN_NAMES:
+            assert any(stage in line for line in collapsed), stage
+
+
+class TestTraceEdgeCases:
+    def test_trace_replays_empty_span_file(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["trace", str(empty)]) == 0
+        out = capsys.readouterr().out
+        assert "Per-stage times" in out
+
+    def test_chrome_export_of_zero_duration_span(self, tmp_path):
+        import json
+
+        trace_file = tmp_path / "zero.jsonl"
+        trace_file.write_text(
+            json.dumps(
+                {
+                    "name": "cad.map",
+                    "span_id": 1,
+                    "parent_id": None,
+                    "t0": 2.5,
+                    "t1": 2.5,
+                    "thread": 0,
+                    "attrs": {"virtual_seconds": 40.0},
+                }
+            )
+            + "\n"
+        )
+        chrome_file = tmp_path / "chrome.json"
+        assert main(["trace", str(trace_file), "--chrome", str(chrome_file)]) == 0
+        (event,) = json.loads(chrome_file.read_text())["traceEvents"]
+        assert event["name"] == "Map"
+        assert event["dur"] == 0.0
+        assert event["ts"] == pytest.approx(2.5e6)
+
+
+class TestProfileCommand:
+    @pytest.fixture()
+    def saved_trace(self, tmp_path):
+        from repro import obs
+
+        tracer = obs.Tracer()
+        with tracer.span("pipeline"):
+            with tracer.span("cad.map") as sp:
+                sp.set_attr("virtual_seconds", 40.0)
+        trace_file = tmp_path / "trace.jsonl"
+        obs.export_tracer(tracer, trace_file)
+        return trace_file
+
+    def test_profile_from_saved_trace(self, saved_trace, capsys):
+        assert main(["profile", str(saved_trace), "--clock", "virtual",
+                     "--collapsed", "-"]) == 0
+        out = capsys.readouterr().out
+        assert "Hot paths (virtual time)" in out
+        assert "pipeline;cad.map 40000000" in out
+
+    def test_profile_collapsed_to_file(self, saved_trace, tmp_path, capsys):
+        collapsed = tmp_path / "stacks.txt"
+        assert main(["profile", str(saved_trace), "--clock", "virtual",
+                     "--collapsed", str(collapsed)]) == 0
+        assert "wrote 1 collapsed stacks" in capsys.readouterr().out
+        assert collapsed.read_text() == "pipeline;cad.map 40000000\n"
+
+    def test_profile_rejects_invalid_trace(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        assert main(["profile", str(bad)]) == 1
+        assert "invalid trace" in capsys.readouterr().err
+
+    def test_profile_of_empty_trace(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["profile", str(empty)]) == 0
+        assert "nothing to profile" in capsys.readouterr().out
+
+
+class TestHeatCommand:
+    def test_heat_annotates_kernel_blocks(self, capsys):
+        assert main(["heat", "sor"]) == 0
+        out = capsys.readouterr().out
+        assert "Hottest blocks" in out
+        assert "[kernel]" in out
+        assert "define" in out  # annotated IR listing
+
+    def test_heat_unknown_function(self, capsys):
+        assert main(["heat", "sor", "--function", "nope"]) == 1
+        assert "no function" in capsys.readouterr().err
+
+
+class TestFidelityCommand:
+    def test_fidelity_writes_report(self, tmp_path, capsys):
+        import json
+
+        out_file = tmp_path / "BENCH_fidelity_embedded.json"
+        assert main(["fidelity", "--domain", "embedded",
+                     "--out", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "Fidelity vs. paper" in out
+        assert f"wrote fidelity report: {out_file}" in out
+        doc = json.loads(out_file.read_text())
+        assert doc["ok"] is True and doc["failed"] == 0

@@ -171,6 +171,49 @@ class TestMetrics:
         reg.reset()
         assert obs.render_snapshot(reg.snapshot()) == "(no metrics recorded)"
 
+    def test_percentile_interpolates_within_buckets(self):
+        hist = Histogram("h", buckets=(1.0, 10.0, 100.0))
+        for v in (0.5, 2.0, 4.0, 6.0, 8.0, 50.0):
+            hist.observe(v)
+        # q=0 / q=1 are exact (clamped to the observed range).
+        assert hist.percentile(0.0) == pytest.approx(0.5)
+        assert hist.percentile(1.0) == pytest.approx(50.0)
+        # The median rank falls in the (1, 10] bucket, interpolated.
+        p50 = hist.percentile(0.50)
+        assert 1.0 < p50 <= 10.0
+        # p99 lands in the last occupied bucket, clamped to max.
+        assert 10.0 < hist.percentile(0.99) <= 50.0
+
+    def test_percentile_empty_and_bounds(self):
+        hist = Histogram("h", buckets=(1.0,))
+        assert hist.percentile(0.5) is None
+        with pytest.raises(ValueError):
+            hist.percentile(1.5)
+        with pytest.raises(ValueError):
+            hist.percentile(-0.1)
+
+    def test_percentile_single_observation(self):
+        hist = Histogram("h", buckets=(1.0, 10.0))
+        hist.observe(3.0)
+        for q in (0.0, 0.5, 0.95, 1.0):
+            assert hist.percentile(q) == pytest.approx(3.0)
+
+    def test_snapshot_and_render_include_percentiles(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("seconds", buckets=(1.0, 10.0))
+        for v in (0.5, 2.0, 5.0):
+            hist.observe(v)
+        h = reg.snapshot()["histograms"]["seconds"]
+        assert h["p50"] == pytest.approx(hist.percentile(0.50))
+        assert h["p95"] == pytest.approx(hist.percentile(0.95))
+        assert h["p99"] == pytest.approx(hist.percentile(0.99))
+        text = obs.render_snapshot(reg.snapshot())
+        assert "p50=" in text and "p95=" in text and "p99=" in text
+        # Empty histograms render dashes, not crashes.
+        reg2 = MetricsRegistry()
+        reg2.histogram("empty")
+        assert "p50=-" in obs.render_snapshot(reg2.snapshot())
+
     def test_interpreter_counts_instructions_and_intrinsics(
         self, fp_kernel, metrics
     ):

@@ -58,6 +58,59 @@ class TestParsing:
         with pytest.raises(ValueError):
             parse_hms("1:2:3:4:5")
 
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "1:-5",  # negative component must not silently mis-parse
+            "-3",
+            "",
+            "   ",
+            "1::5",  # empty component
+            ":30",
+            "a:b",
+            "1:5s",
+            "inf",
+            "1.5:00",  # fractional components are not in the paper's formats
+        ],
+    )
+    def test_parse_rejects_malformed_components(self, text):
+        with pytest.raises(ValueError):
+            parse_hms(text)
+
+    def test_parse_accepts_surrounding_whitespace(self):
+        assert parse_hms(" 0:56 ") == 56
+
+
+#: Boundary durations (seconds): zero, the 59/60 minute edge, the day edge,
+#: and a multi-day value as in the paper's break-even column.
+BOUNDARIES = [0, 1, 59, 60, 61, 3599, 3600, 86399, 86400, 2 * 86400 + 3661]
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("seconds", BOUNDARIES)
+    def test_dhms_round_trip(self, seconds):
+        assert parse_hms(format_dhms(seconds)) == seconds
+
+    @pytest.mark.parametrize("seconds", BOUNDARIES)
+    def test_hhmmss_round_trip(self, seconds):
+        assert parse_hms(format_hhmmss(seconds)) == seconds
+
+    @pytest.mark.parametrize("seconds", BOUNDARIES)
+    def test_hms_round_trip(self, seconds):
+        # m:ss has no hour/day carry, so it round-trips every duration.
+        assert parse_hms(format_hms(seconds)) == seconds
+
+    def test_half_second_rounds_like_the_tables(self):
+        assert parse_hms(format_hms(59.5)) == 60
+        assert parse_hms(format_dhms(86399.5)) == 86400
+
+    def test_infinite_durations_format_but_do_not_parse(self):
+        # "inf"/"never" cells are compared symbolically, never parsed back.
+        assert format_hms(float("inf")) == "inf"
+        assert format_dhms(float("inf")) == "inf"
+        with pytest.raises(ValueError):
+            parse_hms("inf")
+
 
 class TestTableRenderer:
     def test_table_renders_rows_and_footer(self):
