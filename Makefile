@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test trace-smoke fidelity tables
+.PHONY: test trace-smoke fidelity tables regress
 
 # Tier-1 verification: the full test suite.
 test:
@@ -20,3 +20,12 @@ fidelity:
 
 tables:
 	$(PYTHON) -m repro tables all
+
+# Regression sentinel self-check: record the embedded suite twice in the
+# run ledger, then gate the second run against the first cell-by-cell.
+# Two back-to-back runs of an unchanged tree must never regress.
+regress:
+	$(PYTHON) -m repro analyze --domain embedded --ledger
+	$(PYTHON) -m repro analyze --domain embedded --ledger
+	$(PYTHON) -m repro runs list
+	$(PYTHON) -m repro regress --baseline latest~1

@@ -14,11 +14,17 @@ Commands:
 - ``heat <app>`` — heat-annotated IR listing (per-block time share,
   kernel blocks flagged);
 - ``fidelity`` — compare a run's tables against the paper's published
-  values and write a machine-readable ``BENCH_*.json`` report.
+  values and write a machine-readable ``BENCH_*.json`` report;
+- ``runs list|show|diff`` — inspect the run ledger (``.repro-runs/``);
+- ``regress`` — compare the latest recorded run against a baseline run
+  cell-by-cell, exiting non-zero on regression (CI gate);
+- ``tail <file>`` — render the last records of a JSONL event log.
 
 Every command accepts ``--trace FILE`` (export a JSONL span trace of the
-run) and ``--metrics`` (print a metrics snapshot after the run); see
-:mod:`repro.obs`.
+run), ``--metrics`` (print a metrics snapshot after the run), ``--log
+FILE`` (write a structured JSONL event log), and ``--ledger [DIR]``
+(record the run — manifest, trace, and event log — in the run ledger);
+see :mod:`repro.obs`.
 """
 
 from __future__ import annotations
@@ -69,9 +75,19 @@ def _cmd_apps(_args: argparse.Namespace) -> int:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
+    if args.domain:
+        return _cmd_analyze_domain(args)
+    if not args.app:
+        print(
+            "error: analyze needs an application name or --domain",
+            file=sys.stderr,
+        )
+        return 2
+
     from repro.experiments import analyze_app
 
     a = analyze_app(args.app)
+    _attach_run_scalars([a])
     comp = a.compiled.compilation
     print(f"{a.name} ({a.domain})")
     print(
@@ -104,6 +120,34 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         "  break-even: "
         + (format_dhms(be) + " (d:h:m:s)" if math.isfinite(be) else "never")
     )
+    return 0
+
+
+def _attach_run_scalars(analyses) -> None:
+    """Record scalar results on the active ledger run, if any."""
+    from repro.obs.ledger import current_run, scalars_from_analyses
+
+    recorder = current_run()
+    if recorder is not None:
+        recorder.attach_scalars(scalars_from_analyses(analyses))
+
+
+def _cmd_analyze_domain(args: argparse.Namespace) -> int:
+    from repro.experiments import analyze_suite
+
+    domain = None if args.domain == "all" else args.domain
+    # analyze_suite attaches its scalars to the active ledger run itself.
+    analyses = analyze_suite(domain)
+    for a in analyses:
+        be = a.breakeven.live_aware_seconds
+        print(
+            f"{a.name:12s} [{a.domain:10s}] "
+            f"ASIP {a.asip_pruned.ratio:5.2f}x  "
+            f"{a.specialization.candidate_count:3d} candidates  "
+            f"tool flow {format_hms(a.specialization.toolflow_seconds)} (m:s)  "
+            f"break-even "
+            + (format_dhms(be) if math.isfinite(be) else "never")
+        )
     return 0
 
 
@@ -290,6 +334,118 @@ def _cmd_fidelity(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_runs(args: argparse.Namespace) -> int:
+    from repro.obs.ledger import RunLedger, render_manifest, render_run_list
+
+    ledger = RunLedger(args.ledger_dir)
+    if args.runs_command == "list":
+        run_ids = ledger.run_ids()
+        if not run_ids:
+            print(f"(no runs recorded in {ledger.path})")
+            return 0
+        if args.last and args.last > 0:
+            run_ids = run_ids[-args.last :]
+        print(render_run_list([ledger.load(run_id) for run_id in run_ids]))
+        return 0
+    if args.runs_command == "show":
+        try:
+            manifest = ledger.load(ledger.resolve(args.run))
+        except LookupError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(render_manifest(manifest))
+        return 0
+    # diff: informational cell-by-cell comparison, never gating.
+    from repro.obs.regress import compare_manifests
+
+    try:
+        baseline = ledger.load(ledger.resolve(args.a))
+        current = ledger.load(ledger.resolve(args.b))
+    except LookupError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = compare_manifests(baseline, current)
+    print(report.render(show_all=args.all))
+    for warning in report.config_mismatches:
+        print(f"warning: {warning}", file=sys.stderr)
+    return 0
+
+
+def _cmd_regress(args: argparse.Namespace) -> int:
+    from repro.obs.ledger import RunLedger
+    from repro.obs.regress import compare_manifests, parse_tolerances
+
+    ledger = RunLedger(args.ledger_dir)
+    try:
+        tolerances = parse_tolerances(args.tol)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        current_id = ledger.resolve(args.candidate)
+        baseline_id = ledger.resolve(args.baseline)
+    except LookupError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    history = None
+    if args.repeat > 1:
+        run_ids = ledger.run_ids()
+        upto = run_ids.index(current_id) + 1
+        history = [
+            ledger.load(run_id)
+            for run_id in run_ids[max(0, upto - args.repeat) : upto]
+        ]
+    report = compare_manifests(
+        ledger.load(baseline_id),
+        ledger.load(current_id),
+        tolerances=tolerances,
+        history=history,
+    )
+    print(report.render(show_all=args.all))
+    for warning in report.config_mismatches:
+        print(f"warning: {warning}", file=sys.stderr)
+    if not report.ok:
+        print(
+            f"\n{len(report.regressions)} regression(s) vs {baseline_id}:",
+            file=sys.stderr,
+        )
+        for delta in report.regressions:
+            print(f"  REGRESSION {delta.describe()}", file=sys.stderr)
+        return 1
+    print(
+        f"\nno regressions vs {baseline_id} "
+        f"({len(report.checked)} checked cells)"
+    )
+    return 0
+
+
+def _cmd_tail(args: argparse.Namespace) -> int:
+    from repro.obs.log import read_log, render_tail
+
+    try:
+        records = read_log(args.file)
+    except OSError as exc:
+        print(f"cannot read log: {exc}", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        print(f"invalid log: {exc}", file=sys.stderr)
+        return 1
+    print(render_tail(records, limit=args.lines, level=args.level))
+    return 0
+
+
+def _run_config(args: argparse.Namespace) -> dict:
+    """JSON-safe view of a command's own arguments for the run manifest."""
+    skip = {"fn", "trace", "metrics", "ledger", "log"}
+    config = {}
+    for key, value in vars(args).items():
+        if key in skip:
+            continue
+        if value is None or isinstance(value, (str, int, float, bool)):
+            config[key] = value
+    return config
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -306,6 +462,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics",
         action="store_true",
         help="collect metrics and print a snapshot after the run",
+    )
+    obs_options.add_argument(
+        "--log",
+        metavar="FILE",
+        default=None,
+        help="write a structured JSONL event log of this run",
+    )
+    obs_options.add_argument(
+        "--ledger",
+        metavar="DIR",
+        nargs="?",
+        const=".repro-runs",
+        default=None,
+        help="record this run (manifest + trace + event log) in the run "
+        "ledger (default dir: .repro-runs)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -324,8 +495,23 @@ def build_parser() -> argparse.ArgumentParser:
         "apps", parents=[obs_options], help="list the benchmark suite"
     ).set_defaults(fn=_cmd_apps)
 
+    p_analyze = sub.add_parser(
+        "analyze",
+        parents=[obs_options],
+        help="analyze one application or a whole domain",
+    )
+    p_analyze.add_argument(
+        "app", nargs="?", help="application name, e.g. fft or 470.lbm"
+    )
+    p_analyze.add_argument(
+        "--domain",
+        choices=["embedded", "scientific", "all"],
+        default=None,
+        help="analyze every application of a domain instead of one app",
+    )
+    p_analyze.set_defaults(fn=_cmd_analyze)
+
     for name, fn, help_text in (
-        ("analyze", _cmd_analyze, "analyze one application"),
         ("jit", _cmd_jit, "run the end-to-end JIT flow on one application"),
         ("timeline", _cmd_timeline, "concurrent-specialization timeline"),
     ):
@@ -423,6 +609,88 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write a Chrome trace_event file (chrome://tracing)",
     )
     p_trace.set_defaults(fn=_cmd_trace, trace=None, metrics=False)
+
+    ledger_dir_kwargs = dict(
+        metavar="DIR",
+        dest="ledger_dir",
+        default=".repro-runs",
+        help="run ledger directory (default: .repro-runs)",
+    )
+
+    p_runs = sub.add_parser("runs", help="inspect the run ledger")
+    runs_sub = p_runs.add_subparsers(dest="runs_command", required=True)
+    p_runs_list = runs_sub.add_parser("list", help="list recorded runs")
+    p_runs_list.add_argument("--ledger", **ledger_dir_kwargs)
+    p_runs_list.add_argument(
+        "--last", type=int, default=0, help="show only the last N runs"
+    )
+    p_runs_show = runs_sub.add_parser("show", help="show one run's manifest")
+    p_runs_show.add_argument(
+        "run", help="run id, unique prefix, 'latest', or 'latest~N'"
+    )
+    p_runs_show.add_argument("--ledger", **ledger_dir_kwargs)
+    p_runs_diff = runs_sub.add_parser(
+        "diff", help="cell-by-cell diff of two runs (informational)"
+    )
+    p_runs_diff.add_argument("a", help="baseline run spec")
+    p_runs_diff.add_argument("b", help="current run spec")
+    p_runs_diff.add_argument("--ledger", **ledger_dir_kwargs)
+    p_runs_diff.add_argument(
+        "--all", action="store_true", help="show unchanged cells too"
+    )
+    p_runs.set_defaults(fn=_cmd_runs, trace=None, metrics=False, log=None)
+    for p in (p_runs_list, p_runs_show, p_runs_diff):
+        p.set_defaults(fn=_cmd_runs, trace=None, metrics=False, log=None)
+
+    p_regress = sub.add_parser(
+        "regress",
+        help="compare a recorded run against a baseline, fail on regression",
+    )
+    p_regress.add_argument(
+        "--baseline",
+        default="latest~1",
+        help="baseline run spec (default: latest~1)",
+    )
+    p_regress.add_argument(
+        "--candidate",
+        default="latest",
+        help="run under test (default: latest)",
+    )
+    p_regress.add_argument("--ledger", **ledger_dir_kwargs)
+    p_regress.add_argument(
+        "--tol",
+        action="append",
+        default=[],
+        metavar="PATTERN=REL",
+        help="override a cell tolerance (REL float, or 'info' to make the "
+        "cells informational); repeatable, first match wins",
+    )
+    p_regress.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="widen tolerances by a median/MAD noise band estimated over "
+        "the last N runs ending at the candidate (default: 1 = off)",
+    )
+    p_regress.add_argument(
+        "--all", action="store_true", help="show unchanged cells too"
+    )
+    p_regress.set_defaults(fn=_cmd_regress, trace=None, metrics=False, log=None)
+
+    p_tail = sub.add_parser(
+        "tail", help="render the last records of a JSONL event log"
+    )
+    p_tail.add_argument("file", help="event log written by --log or --ledger")
+    p_tail.add_argument(
+        "-n", "--lines", type=int, default=20, help="records to show"
+    )
+    p_tail.add_argument(
+        "--level",
+        choices=["debug", "info", "warning", "error"],
+        default=None,
+        help="show only records at or above this level",
+    )
+    p_tail.set_defaults(fn=_cmd_tail, trace=None, metrics=False, log=None)
     return parser
 
 
@@ -430,26 +698,62 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     trace_file = getattr(args, "trace", None)
     want_metrics = getattr(args, "metrics", False)
-    if trace_file or want_metrics:
-        from repro import obs
+    log_file = getattr(args, "log", None)
+    ledger_dir = getattr(args, "ledger", None)
+    if not (trace_file or want_metrics or log_file or ledger_dir):
+        return args.fn(args)
 
-        if trace_file:
-            obs.enable_tracing()
-        if want_metrics:
-            obs.enable_metrics()
-        try:
-            status = args.fn(args)
-        finally:
-            if trace_file:
-                tracer = obs.disable_tracing()
-                count = obs.export_tracer(tracer, trace_file)
-                print(f"\nwrote {count} spans to {trace_file}")
-            if want_metrics:
-                registry = obs.disable_metrics()
-                print("\nmetrics snapshot:")
-                print(obs.render_snapshot(registry.snapshot()))
+    from pathlib import Path
+
+    from repro import obs
+
+    recorder = None
+    if ledger_dir:
+        # A recorded run must measure real work, not cache hits.
+        from repro.experiments.runner import clear_cache
+
+        clear_cache()
+        recorder = obs.start_run(
+            ledger_dir,
+            command=args.command,
+            config=_run_config(args),
+            argv=list(argv) if argv is not None else sys.argv[1:],
+        )
+        if log_file is None:
+            log_file = str(Path(recorder.run_dir) / "log.jsonl")
+    if trace_file or recorder is not None:
+        obs.enable_tracing()
+    if want_metrics or recorder is not None:
+        obs.enable_metrics()
+    if log_file:
+        obs.enable_logging(
+            log_file, run_id=recorder.run_id if recorder else None
+        )
+    status = None
+    try:
+        status = args.fn(args)
         return status
-    return args.fn(args)
+    finally:
+        if log_file:
+            obs.disable_logging()
+        tracer = obs.disable_tracing() if obs.get_tracer().enabled else None
+        registry = (
+            obs.disable_metrics() if obs.get_metrics().enabled else None
+        )
+        if trace_file and tracer is not None:
+            count = obs.export_tracer(tracer, trace_file)
+            print(f"\nwrote {count} spans to {trace_file}")
+        if want_metrics and registry is not None:
+            print("\nmetrics snapshot:")
+            print(obs.render_snapshot(registry.snapshot()))
+        if recorder is not None:
+            manifest_path = obs.finish_run(
+                tracer=tracer,
+                metrics=registry,
+                status=status if status is not None else -1,
+                log_path=log_file,
+            )
+            print(f"\nrecorded run {recorder.run_id} -> {manifest_path}")
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -26,7 +26,7 @@ from repro.fpga.toolflow import CadToolFlow, ImplementationResult
 from repro.fpga.timingmodel import StageTimes
 from repro.ir.module import Module
 from repro.ise.selection import CandidateSearch, CandidateSearchResult
-from repro.obs import get_metrics, get_tracer
+from repro.obs import get_log, get_metrics, get_tracer
 from repro.pivpav.estimator import CandidateEstimate
 from repro.vm.profiler import ExecutionProfile
 from repro.woolcano.reconfig import IcapModel, ReconfigurationEvent
@@ -104,6 +104,7 @@ class AsipSpecializationProcess:
 
     def run(self, module: Module, profile: ExecutionProfile) -> SpecializationReport:
         tracer = get_tracer()
+        log = get_log()
         with tracer.span("asip_sp.run", module=module.name) as sp_run:
             search_result = self.search.run(module, profile)
 
@@ -131,11 +132,29 @@ class AsipSpecializationProcess:
                             # application correct.
                             failed.append((est, str(exc)))
                             sp_cand.set_attr("failed", True)
+                            if log.enabled:
+                                log.emit(
+                                    "asip.candidate",
+                                    level="warning",
+                                    decision="failed",
+                                    candidate=est.candidate.key,
+                                    custom_id=custom_id,
+                                    error=str(exc),
+                                )
                             continue
                         by_signature[sig] = impl
                     sp_cand.set_attrs(
                         failed=False, virtual_seconds=impl.times.total
                     )
+                    if log.enabled:
+                        log.emit(
+                            "asip.candidate",
+                            decision="implemented",
+                            candidate=est.candidate.key,
+                            custom_id=custom_id,
+                            shared=shared,
+                            virtual_seconds=round(impl.times.total, 6),
+                        )
                     implementations.append(
                         CandidateImplementation(
                             estimate=est,

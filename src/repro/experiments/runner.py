@@ -57,24 +57,48 @@ class AppAnalysis:
         return pruned_rate / full_rate
 
 
-_CACHE: dict[str, AppAnalysis] = {}
+# Keyed on the full parameter tuple (app name + machine + pruning
+# configuration): two analyses of the same app under different parameters
+# are different experiments and must not alias each other's results.
+_CACHE: dict[tuple, AppAnalysis] = {}
 
 
 def clear_cache() -> None:
     _CACHE.clear()
 
 
+def _cache_key(
+    name: str,
+    machine: WoolcanoMachine | None,
+    pruning: PruningFilter | None,
+) -> tuple:
+    # Machines and pruning filters are plain dataclasses, so their reprs
+    # are stable value fingerprints; None marks the shared default.
+    return (
+        name,
+        None if machine is None else repr(machine),
+        None if pruning is None else repr(pruning),
+    )
+
+
 def analyze_app(
     name: str,
     machine: WoolcanoMachine | None = None,
     use_cache: bool = True,
+    pruning: PruningFilter | None = None,
 ) -> AppAnalysis:
-    """Run the complete analysis pipeline for one application."""
-    if use_cache and name in _CACHE:
-        return _CACHE[name]
+    """Run the complete analysis pipeline for one application.
+
+    *pruning* overrides the Table II search filter (default ``@50pS3L``);
+    the full-search ASIP upper bound always runs unpruned.
+    """
+    key = _cache_key(name, machine, pruning)
+    if use_cache and key in _CACHE:
+        return _CACHE[key]
 
     spec = get_app(name)
     machine = machine or WoolcanoMachine()
+    pruning = pruning or PruningFilter()
     tracer = get_tracer()
     with tracer.span("analysis.run", app=name):
         compiled = compile_app(spec)
@@ -100,7 +124,7 @@ def analyze_app(
         ).run(module, train)
         asip_sp = AsipSpecializationProcess(
             search=CandidateSearch(
-                pruning=PruningFilter(), cost_model=machine.cost_model
+                pruning=pruning, cost_model=machine.cost_model
             )
         )
         specialization = asip_sp.run(module, train)
@@ -133,12 +157,12 @@ def analyze_app(
         breakeven=breakeven,
     )
     if use_cache:
-        _CACHE[name] = analysis
+        _CACHE[key] = analysis
     return analysis
 
 
 def analyze_suite(
-    domain: str | None = None, fidelity_out=None
+    domain: str | None = None, fidelity_out=None, ledger=None
 ) -> list[AppAnalysis]:
     """Analyze every application (optionally one domain), in paper order.
 
@@ -147,15 +171,53 @@ def analyze_suite(
     resulting report is written there as ``BENCH_*.json``
     (:mod:`repro.obs.fidelity`) — so any experiment run can double as a
     reproduction-fidelity data point.
-    """
-    apps = [a for a in ALL_APPS if domain is None or a.domain == domain]
-    with get_tracer().span(
-        "analysis.suite", domain=domain or "all", apps=len(apps)
-    ):
-        analyses = [analyze_app(a.name) for a in apps]
-    if fidelity_out is not None:
-        from repro.obs.fidelity import fidelity_from_analyses
 
-        report = fidelity_from_analyses(analyses, domain=domain or "all")
-        report.write(fidelity_out)
+    With *ledger* set (a :class:`repro.obs.ledger.RunLedger` or a ledger
+    directory path), the suite run is recorded as a ledger manifest. When
+    the CLI already opened a recorded run (``--ledger``), the suite only
+    attaches its scalar results to that run; otherwise it opens, traces,
+    and finalizes a run of its own.
+    """
+    from repro.obs.ledger import current_run, finish_run, scalars_from_analyses, start_run
+
+    recorder = current_run()
+    owns_run = False
+    tracing_was_enabled = True
+    if ledger is not None and recorder is None:
+        recorder = start_run(
+            ledger, command="analyze-suite", config={"domain": domain or "all"}
+        )
+        owns_run = True
+        tracing_was_enabled = get_tracer().enabled
+        if not tracing_was_enabled:
+            from repro.obs.tracer import enable_tracing
+
+            enable_tracing()
+
+    status = 1
+    try:
+        apps = [a for a in ALL_APPS if domain is None or a.domain == domain]
+        with get_tracer().span(
+            "analysis.suite", domain=domain or "all", apps=len(apps)
+        ):
+            analyses = [analyze_app(a.name) for a in apps]
+        if recorder is not None:
+            recorder.attach_scalars(scalars_from_analyses(analyses))
+        if fidelity_out is not None:
+            from repro.obs.fidelity import fidelity_from_analyses
+
+            report = fidelity_from_analyses(analyses, domain=domain or "all")
+            report.write(fidelity_out)
+            if recorder is not None:
+                recorder.attach_fidelity(report)
+                recorder.artifacts.setdefault("fidelity_report", str(fidelity_out))
+        status = 0
+    finally:
+        if owns_run:
+            tracer = get_tracer()
+            if not tracing_was_enabled:
+                from repro.obs.tracer import disable_tracing
+
+                disable_tracing()
+            finish_run(tracer=tracer, status=status)
     return analyses

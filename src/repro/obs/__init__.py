@@ -20,7 +20,15 @@ evidence on demand:
   flagged (lazy import: pulls the IR/VM layers);
 - :mod:`repro.obs.fidelity` — golden-reference harness comparing a run's
   tables cell-by-cell against the paper's published values, emitting a
-  ``BENCH_*.json`` report (lazy import: pulls the experiments layer).
+  ``BENCH_*.json`` report (lazy import: pulls the experiments layer);
+- :mod:`repro.obs.log` — leveled structured event log (JSONL), every
+  record stamped with the active run id and tracer span id;
+- :mod:`repro.obs.ledger` — append-only run ledger: each recorded run
+  becomes a durable ``manifest.json`` (+ trace + event log) under
+  ``.repro-runs/``;
+- :mod:`repro.obs.regress` — regression sentinel comparing two ledger
+  manifests cell-by-cell under configurable tolerances and repeat-run
+  noise bands.
 
 Enable both at once with :func:`enable` (the CLI's ``--trace`` /
 ``--metrics`` flags call this).
@@ -66,6 +74,38 @@ from repro.obs.export import (
     write_jsonl,
 )
 from repro.obs.profile import Profile, ProfileNode, build_profile
+from repro.obs.log import (
+    LEVELS,
+    EventLog,
+    disable_logging,
+    enable_logging,
+    get_log,
+    log_enabled,
+    log_event,
+    read_log,
+    render_tail,
+    set_log,
+)
+from repro.obs.ledger import (
+    DEFAULT_LEDGER_DIR,
+    MANIFEST_SCHEMA,
+    RunLedger,
+    RunRecorder,
+    abandon_run,
+    current_run,
+    finish_run,
+    fold_stages,
+    scalars_from_analyses,
+    start_run,
+)
+from repro.obs.regress import (
+    CellDelta,
+    RegressionReport,
+    compare_manifests,
+    flatten_cells,
+    median_mad,
+    parse_tolerances,
+)
 
 # The heat and fidelity layers sit *above* the substrate: they import the
 # IR/VM/experiments packages, which themselves import repro.obs — so they
@@ -110,7 +150,33 @@ def disable() -> None:
 __all__ = [
     "BlockHeat",
     "CellCheck",
+    "CellDelta",
     "Counter",
+    "DEFAULT_LEDGER_DIR",
+    "EventLog",
+    "LEVELS",
+    "MANIFEST_SCHEMA",
+    "RegressionReport",
+    "RunLedger",
+    "RunRecorder",
+    "abandon_run",
+    "compare_manifests",
+    "current_run",
+    "disable_logging",
+    "enable_logging",
+    "finish_run",
+    "flatten_cells",
+    "fold_stages",
+    "get_log",
+    "log_enabled",
+    "log_event",
+    "median_mad",
+    "parse_tolerances",
+    "read_log",
+    "render_tail",
+    "scalars_from_analyses",
+    "set_log",
+    "start_run",
     "FidelityReport",
     "Gauge",
     "HeatMap",

@@ -379,6 +379,13 @@ def run_fidelity(
     report.wall_seconds = time.perf_counter() - t0
     if out is not None:
         report.write(out)
+    from repro.obs.ledger import current_run
+
+    recorder = current_run()
+    if recorder is not None:
+        recorder.attach_fidelity(report)
+        if out is not None:
+            recorder.artifacts.setdefault("fidelity_report", str(out))
     return report
 
 

@@ -31,6 +31,10 @@ class Counter:
         self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(
+                f"counter {self.name!r} is monotonic: cannot inc by {amount}"
+            )
         with self._lock:
             self.value += amount
 

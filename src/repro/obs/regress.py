@@ -1,0 +1,334 @@
+"""Regression sentinel: compare two run manifests cell by cell.
+
+A ledger manifest (:mod:`repro.obs.ledger`) flattens into named numeric
+cells — per-stage virtual CAD seconds, span counts, per-app speedups and
+break-even times, candidate counts, fidelity cell outcomes, metrics
+counters. The sentinel compares a baseline manifest against a candidate
+manifest under configurable relative tolerances and exits non-zero on any
+regression, so CI can gate on ``repro regress --baseline <run>``.
+
+Two kinds of cells:
+
+- **deterministic** — the virtual-clock CAD stage totals, candidate
+  counts, speedups, break-even times, fidelity actuals: for a fixed
+  config these are bit-reproducible, so the default tolerance is
+  essentially exact (relative 1e-9) and any drift names the offending
+  cell;
+- **noisy** — measured wall clock (``wall_seconds``, ``*.real_seconds``,
+  candidate-search milliseconds): informational by default (reported but
+  never failing) unless a tolerance is explicitly configured for them,
+  e.g. ``--tol 'stages.search.*=0.5'``.
+
+Noise bands: with repeat runs available (``--repeat N``), the candidate
+value of each cell is the **median** over the N most recent runs and the
+allowance is widened by ``3 x MAD`` (median absolute deviation), so a
+flaky cell needs a real shift — not one unlucky sample — to fail.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+
+from repro.util.tables import Table
+
+#: Ordered (pattern, relative tolerance) pairs; first match wins. ``None``
+#: marks the cell informational (never failing). User tolerances are
+#: prepended, so an explicit pattern can tighten a noisy cell into a
+#: checked one or loosen a deterministic one.
+DEFAULT_TOLERANCES: tuple[tuple[str, float | None], ...] = (
+    ("*search*", None),  # candidate search is measured wall clock (Table II)
+    ("*compile*", None),  # compilation is measured wall clock too
+    ("*.real_seconds", None),
+    ("wall_seconds", None),
+    # Break-even folds the measured search milliseconds into a
+    # minutes-scale modelled overhead: deterministic to ~1e-6 relative,
+    # so gate it loosely enough to absorb that jitter.
+    ("*break_even*", 1e-4),
+    ("status", 0.0),
+    ("*", 1e-9),
+)
+
+#: MAD multiplier for the repeat-run noise band.
+NOISE_BAND_MADS = 3.0
+
+#: Manifest config keys that are expected to differ between runs.
+_VOLATILE_CONFIG_KEYS = frozenset({"ledger", "log", "trace", "metrics", "out"})
+
+
+def parse_tolerances(specs: list[str]) -> list[tuple[str, float | None]]:
+    """Parse ``PATTERN=REL`` CLI specs (``REL`` = float, or ``info``)."""
+    parsed: list[tuple[str, float | None]] = []
+    for spec in specs:
+        pattern, sep, value = spec.partition("=")
+        if not sep or not pattern:
+            raise ValueError(
+                f"invalid tolerance {spec!r} (expected PATTERN=REL)"
+            )
+        if value.strip().lower() in ("info", "none"):
+            parsed.append((pattern, None))
+            continue
+        try:
+            rel = float(value)
+        except ValueError:
+            raise ValueError(
+                f"invalid tolerance {spec!r}: {value!r} is not a number"
+            ) from None
+        if rel < 0:
+            raise ValueError(f"invalid tolerance {spec!r}: must be >= 0")
+        parsed.append((pattern, rel))
+    return parsed
+
+
+def resolve_tolerance(
+    cell: str, tolerances: list[tuple[str, float | None]]
+) -> float | None:
+    for pattern, tol in tolerances:
+        if fnmatchcase(cell, pattern):
+            return tol
+    return 1e-9
+
+
+def flatten_cells(manifest: dict) -> dict[str, float]:
+    """Flat ``cell-name -> numeric value`` view of one manifest."""
+    cells: dict[str, float] = {}
+
+    def put(name: str, value) -> None:
+        if isinstance(value, bool):
+            cells[name] = float(value)
+        elif isinstance(value, (int, float)) and math.isfinite(value):
+            cells[name] = float(value)
+
+    put("wall_seconds", manifest.get("wall_seconds"))
+    put("status", manifest.get("status"))
+
+    for name, stage in (manifest.get("stages") or {}).items():
+        for key in ("spans", "real_seconds", "virtual_seconds"):
+            put(f"stages.{name}.{key}", stage.get(key))
+
+    def walk(prefix: str, value) -> None:
+        if isinstance(value, dict):
+            for k, v in value.items():
+                walk(f"{prefix}.{k}", v)
+        else:
+            put(prefix, value)
+
+    walk("scalars", manifest.get("scalars") or {})
+
+    fidelity = manifest.get("fidelity") or {}
+    put("fidelity.failed", fidelity.get("failed"))
+    for key, cell in (fidelity.get("cells") or {}).items():
+        put(f"fidelity.{key}.actual", cell.get("actual"))
+        if cell.get("passed") is not None:
+            put(f"fidelity.{key}.passed", cell.get("passed"))
+
+    metrics = manifest.get("metrics") or {}
+    for name, value in (metrics.get("counters") or {}).items():
+        put(f"metrics.counters.{name}", value)
+    return cells
+
+
+def median_mad(values: list[float]) -> tuple[float, float]:
+    """Median and median-absolute-deviation of *values* (non-empty)."""
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    median = (
+        ordered[mid] if n % 2 else 0.5 * (ordered[mid - 1] + ordered[mid])
+    )
+    deviations = sorted(abs(v - median) for v in ordered)
+    mad = (
+        deviations[mid] if n % 2 else 0.5 * (deviations[mid - 1] + deviations[mid])
+    )
+    return median, mad
+
+
+@dataclass
+class CellDelta:
+    """One cell compared between baseline and candidate manifests."""
+
+    cell: str
+    baseline: float | None
+    current: float | None
+    tolerance: float | None  # None = informational
+    noise: float = 0.0  # absolute allowance from the repeat-run MAD band
+    samples: int = 1  # repeat runs folded into `current`
+
+    @property
+    def abs_delta(self) -> float | None:
+        if self.baseline is None or self.current is None:
+            return None
+        return self.current - self.baseline
+
+    @property
+    def rel_delta(self) -> float | None:
+        delta = self.abs_delta
+        if delta is None:
+            return None
+        denom = max(abs(self.baseline), 1e-12)
+        return delta / denom
+
+    @property
+    def checked(self) -> bool:
+        return self.tolerance is not None
+
+    @property
+    def regressed(self) -> bool:
+        if not self.checked:
+            return False
+        if self.baseline is None or self.current is None:
+            return True  # a checked cell appeared or disappeared
+        allowance = self.tolerance * max(abs(self.baseline), 1e-12)
+        allowance += NOISE_BAND_MADS * self.noise
+        return abs(self.current - self.baseline) > allowance
+
+    def describe(self) -> str:
+        if self.baseline is None:
+            return f"{self.cell}: new cell (current {self.current:g})"
+        if self.current is None:
+            return f"{self.cell}: cell disappeared (baseline {self.baseline:g})"
+        rel = self.rel_delta
+        return (
+            f"{self.cell}: baseline {self.baseline:g} -> current "
+            f"{self.current:g} (delta {100.0 * rel:+.3f}%, "
+            f"tol {self.tolerance:g}"
+            + (f", noise band {NOISE_BAND_MADS:g}*MAD={self.noise:g}" if self.noise else "")
+            + ")"
+        )
+
+
+@dataclass
+class RegressionReport:
+    """Cell-by-cell comparison of two run manifests."""
+
+    baseline_id: str
+    current_id: str
+    deltas: list[CellDelta] = field(default_factory=list)
+    config_mismatches: list[str] = field(default_factory=list)
+    repeat_ids: list[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[CellDelta]:
+        return [d for d in self.deltas if d.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    @property
+    def checked(self) -> list[CellDelta]:
+        return [d for d in self.deltas if d.checked]
+
+    def render(self, show_all: bool = False) -> str:
+        table = Table(
+            columns=["cell", "baseline", "current", "delta %", "tol", "status"],
+            title=(
+                f"Regression check: {self.baseline_id} (baseline) vs "
+                f"{self.current_id}"
+            ),
+        )
+        shown = 0
+        for d in sorted(
+            self.deltas, key=lambda d: (not d.regressed, d.cell)
+        ):
+            changed = d.abs_delta is None or d.abs_delta != 0.0
+            if not show_all and not changed and not d.regressed:
+                continue
+            status = (
+                "FAIL" if d.regressed else ("ok" if d.checked else "info")
+            )
+            rel = d.rel_delta
+            table.add_row(
+                [
+                    d.cell,
+                    f"{d.baseline:g}" if d.baseline is not None else "-",
+                    f"{d.current:g}" if d.current is not None else "-",
+                    f"{100.0 * rel:+.3f}" if rel is not None else "-",
+                    f"{d.tolerance:g}" if d.tolerance is not None else "info",
+                    status,
+                ]
+            )
+            shown += 1
+        checked = self.checked
+        passed = sum(1 for d in checked if not d.regressed)
+        table.add_footer(
+            [
+                "total",
+                f"{len(self.deltas)} cells",
+                f"{shown} shown",
+                "",
+                "",
+                f"{passed}/{len(checked)} pass",
+            ]
+        )
+        return table.render()
+
+
+def compare_manifests(
+    baseline: dict,
+    current: dict,
+    tolerances: list[tuple[str, float | None]] | None = None,
+    history: list[dict] | None = None,
+) -> RegressionReport:
+    """Compare *current* against *baseline* cell by cell.
+
+    *tolerances* are prepended to :data:`DEFAULT_TOLERANCES` (first match
+    wins). *history* is an optional list of repeat-run manifests (the
+    candidate included): each cell's candidate value becomes the median
+    over the history and its allowance is widened by ``3 x MAD``.
+    """
+    resolved = list(tolerances or []) + list(DEFAULT_TOLERANCES)
+    base_cells = flatten_cells(baseline)
+    cur_cells = flatten_cells(current)
+
+    history_cells: list[dict[str, float]] = []
+    repeat_ids: list[str] = []
+    if history and len(history) > 1:
+        history_cells = [flatten_cells(m) for m in history]
+        repeat_ids = [str(m.get("run_id")) for m in history]
+
+    report = RegressionReport(
+        baseline_id=str(baseline.get("run_id", "baseline")),
+        current_id=str(current.get("run_id", "current")),
+        repeat_ids=repeat_ids,
+    )
+
+    base_config = {
+        k: v
+        for k, v in (baseline.get("config") or {}).items()
+        if k not in _VOLATILE_CONFIG_KEYS
+    }
+    cur_config = {
+        k: v
+        for k, v in (current.get("config") or {}).items()
+        if k not in _VOLATILE_CONFIG_KEYS
+    }
+    for key in sorted(set(base_config) | set(cur_config)):
+        if base_config.get(key) != cur_config.get(key):
+            report.config_mismatches.append(
+                f"config.{key}: baseline {base_config.get(key)!r} != "
+                f"current {cur_config.get(key)!r}"
+            )
+
+    for cell in sorted(set(base_cells) | set(cur_cells)):
+        value = cur_cells.get(cell)
+        noise = 0.0
+        samples = 1
+        if history_cells:
+            values = [h[cell] for h in history_cells if cell in h]
+            if len(values) > 1:
+                value, mad = median_mad(values)
+                noise = mad
+                samples = len(values)
+        report.deltas.append(
+            CellDelta(
+                cell=cell,
+                baseline=base_cells.get(cell),
+                current=value,
+                tolerance=resolve_tolerance(cell, resolved),
+                noise=noise,
+                samples=samples,
+            )
+        )
+    return report

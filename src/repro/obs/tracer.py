@@ -173,6 +173,16 @@ class Tracer:
             self._finished.append(span)
 
     # -- inspection ----------------------------------------------------------
+    def current_span(self) -> Span | None:
+        """The innermost open span on this thread (None outside any span).
+
+        The event log (:mod:`repro.obs.log`) uses this to stamp each record
+        with the span it was emitted under, correlating log lines to the
+        exported trace of the same run.
+        """
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
     def spans(self) -> list[Span]:
         """Snapshot of all finished spans, in completion order."""
         with self._lock:

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.fpga.bitgen import PartialBitstream
-from repro.obs import get_metrics, get_tracer
+from repro.obs import get_log, get_metrics, get_tracer
 
 
 @dataclass(frozen=True)
@@ -39,12 +39,21 @@ class IcapModel:
 
     def reconfigure(self, custom_id: int, bitstream: PartialBitstream) -> ReconfigurationEvent:
         seconds = self.setup_seconds + bitstream.size_bytes / self.bytes_per_second
-        get_tracer().event(
+        span = get_tracer().event(
             "icap.reconfigure",
             custom_id=custom_id,
             bytes=bitstream.size_bytes,
             virtual_seconds=seconds,
         )
+        log = get_log()
+        if log.enabled:
+            log.emit(
+                "icap.reconfigure",
+                span_id=span.span_id or None,
+                custom_id=custom_id,
+                bytes=bitstream.size_bytes,
+                virtual_seconds=round(seconds, 9),
+            )
         registry = get_metrics()
         if registry.enabled:
             registry.counter("icap.reconfigurations").inc()

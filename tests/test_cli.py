@@ -18,7 +18,12 @@ class TestParser:
 
     def test_app_commands_require_app(self):
         with pytest.raises(SystemExit):
-            build_parser().parse_args(["analyze"])
+            build_parser().parse_args(["jit"])
+        # analyze's app became optional (--domain analyzes a whole suite),
+        # so bare `analyze` is a runtime error instead of a parse error.
+        assert main(["analyze"]) == 2
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["analyze", "--domain", "bogus"])
 
     def test_profile_requires_target_and_valid_clock(self):
         args = build_parser().parse_args(["profile", "sor", "--clock", "virtual"])

@@ -31,6 +31,22 @@ class TestRunner:
     def test_cache_returns_same_object(self, sor_analysis):
         assert analyze_app("sor") is sor_analysis
 
+    def test_cache_keyed_on_full_parameter_tuple(self, sor_analysis):
+        # Regression test: the cache used to key on the app name alone, so
+        # an analysis under a different pruning filter returned the stale
+        # default-config result instead of re-running.
+        from repro.ise.pruning import PruningFilter
+
+        loose = PruningFilter(time_share_pct=90.0, max_blocks=8)
+        relaxed = analyze_app("sor", pruning=loose)
+        assert relaxed is not sor_analysis
+        assert relaxed.search_pruned.pruned_blocks != (
+            sor_analysis.search_pruned.pruned_blocks
+        )
+        # Both configurations stay cached side by side.
+        assert analyze_app("sor", pruning=loose) is relaxed
+        assert analyze_app("sor") is sor_analysis
+
     def test_pruning_efficiency_positive(self, sor_analysis):
         assert sor_analysis.pruning_efficiency > 0
 

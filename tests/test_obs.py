@@ -157,6 +157,45 @@ class TestMetrics:
         assert h["min"] == 0.5 and h["max"] == 50.0
         assert h["buckets"] == {"le_1": 1, "le_10": 1, "inf": 1}
 
+    def test_counter_rejects_negative_increment(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("runs")
+        counter.inc(2)
+        with pytest.raises(ValueError, match="monotonic"):
+            counter.inc(-1)
+        # The failed inc must not have corrupted the count.
+        assert counter.value == 2
+
+    def test_registry_is_thread_safe_under_contention(self):
+        reg = MetricsRegistry()
+        threads, per_thread = 8, 2500
+        barrier = threading.Barrier(threads)
+
+        def hammer(i: int) -> None:
+            barrier.wait()
+            for _ in range(per_thread):
+                # All threads hit the same named instruments, so lost
+                # updates would show up as short totals.
+                reg.counter("shared").inc()
+                reg.gauge("last_writer").set(i)
+                reg.histogram("values", buckets=(1.0,)).observe(0.5)
+
+        workers = [
+            threading.Thread(target=hammer, args=(i,)) for i in range(threads)
+        ]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        snap = reg.snapshot()
+        expected = threads * per_thread
+        assert snap["counters"]["shared"] == expected
+        assert snap["histograms"]["values"]["count"] == expected
+        assert snap["histograms"]["values"]["sum"] == pytest.approx(
+            0.5 * expected
+        )
+        assert snap["gauges"]["last_writer"] in range(threads)
+
     def test_histogram_bucket_edges(self):
         hist = Histogram("h", buckets=(1.0,))
         hist.observe(1.0)  # on the bound -> first bucket (le semantics)
