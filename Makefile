@@ -1,7 +1,10 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test trace-smoke fidelity tables regress
+# Worker count for the parallel leg of `make regress` (1 = serial).
+JOBS ?= 1
+
+.PHONY: test trace-smoke fidelity tables regress docs-lint bench-parallel
 
 # Tier-1 verification: the full test suite.
 test:
@@ -23,9 +26,22 @@ tables:
 
 # Regression sentinel self-check: record the embedded suite twice in the
 # run ledger, then gate the second run against the first cell-by-cell.
-# Two back-to-back runs of an unchanged tree must never regress.
+# Two back-to-back runs of an unchanged tree must never regress. With
+# JOBS=N the second run is sharded over N workers, gating the parallel
+# runner's determinism against the serial baseline (`jobs` is a volatile
+# config key, so the two runs are comparable).
 regress:
 	$(PYTHON) -m repro analyze --domain embedded --ledger
-	$(PYTHON) -m repro analyze --domain embedded --ledger
+	$(PYTHON) -m repro analyze --domain embedded --ledger --jobs $(JOBS)
 	$(PYTHON) -m repro runs list
 	$(PYTHON) -m repro regress --baseline latest~1
+
+# Documentation lint: every module docstring names its paper anchor, all
+# relative markdown links resolve, README links the architecture tour.
+docs-lint:
+	$(PYTHON) scripts/docs_lint.py
+
+# Four-phase wall-time benchmark (serial/parallel x cold/warm cache);
+# rewrites BENCH_parallel.json, the committed evidence.
+bench-parallel:
+	$(PYTHON) -m repro bench --domain embedded --out BENCH_parallel.json

@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Documentation lint for the reproduction tree.
+
+Three checks, all enforced by ``make docs-lint`` (and the CI lint job):
+
+1. every Python module under ``src/repro/`` carries a non-empty module
+   docstring that names its paper anchor — a Section/Table/Figure
+   reference (or the word "paper") tying the code back to Grad & Plessl,
+   "Just-in-Time Instruction Set Extension" (RAW/IPDPS 2011);
+2. every relative markdown link in the top-level docs (README.md,
+   DESIGN.md, EXPERIMENTS.md, ROADMAP.md, docs/*.md) resolves to an
+   existing file;
+3. README.md links the architecture tour (docs/ARCHITECTURE.md).
+
+Exits non-zero listing every violation.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src" / "repro"
+
+#: What counts as a paper anchor inside a module docstring.
+ANCHOR = re.compile(r"Section|Table|Figure|Fig\.|paper", re.IGNORECASE)
+
+#: Markdown files whose relative links must resolve.
+DOC_FILES = ("README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md")
+
+#: Inline markdown links: [text](target). Reference-style links are not
+#: used in this tree.
+MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def check_docstrings() -> list[str]:
+    problems: list[str] = []
+    for path in sorted(SRC.rglob("*.py")):
+        rel = path.relative_to(REPO)
+        try:
+            tree = ast.parse(path.read_text(encoding="utf-8"))
+        except SyntaxError as exc:
+            problems.append(f"{rel}: does not parse ({exc})")
+            continue
+        doc = ast.get_docstring(tree)
+        if not doc or not doc.strip():
+            problems.append(f"{rel}: missing module docstring")
+        elif not ANCHOR.search(doc):
+            problems.append(
+                f"{rel}: module docstring names no paper anchor "
+                "(Section/Table/Figure/paper)"
+            )
+    return problems
+
+
+def check_links() -> list[str]:
+    problems: list[str] = []
+    files = [REPO / name for name in DOC_FILES]
+    files += sorted((REPO / "docs").glob("*.md"))
+    for doc in files:
+        if not doc.is_file():
+            continue
+        for lineno, line in enumerate(
+            doc.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            for target in MD_LINK.findall(line):
+                if target.startswith(("http://", "https://", "mailto:", "#")):
+                    continue
+                resolved = (doc.parent / target.split("#", 1)[0]).resolve()
+                if not resolved.exists():
+                    problems.append(
+                        f"{doc.relative_to(REPO)}:{lineno}: broken link "
+                        f"-> {target}"
+                    )
+    return problems
+
+
+def check_architecture_link() -> list[str]:
+    readme = REPO / "README.md"
+    if not readme.is_file():
+        return ["README.md: missing"]
+    if "docs/ARCHITECTURE.md" not in readme.read_text(encoding="utf-8"):
+        return ["README.md: does not link docs/ARCHITECTURE.md"]
+    return []
+
+
+def main() -> int:
+    problems = check_docstrings() + check_links() + check_architecture_link()
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"\ndocs-lint: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    print("docs-lint: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

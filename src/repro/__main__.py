@@ -1,4 +1,8 @@
-"""``python -m repro`` entry point."""
+"""``python -m repro`` entry point.
+
+Dispatches to :mod:`repro.cli`, which regenerates the paper's Tables I-IV
+and drives the observability tooling around them.
+"""
 
 import sys
 

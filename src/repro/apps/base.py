@@ -1,4 +1,9 @@
-"""Application and dataset specifications."""
+"""Application and dataset specifications.
+
+An :class:`AppSpec` bundles a benchmark's MiniC sources with several input
+data sets, as required by the multi-data-set coverage methodology of the
+paper's Section IV-C.
+"""
 
 from __future__ import annotations
 

@@ -1,4 +1,8 @@
-"""Embedded benchmark applications (MiBench / SciMark2 stand-ins)."""
+"""Embedded benchmark applications (MiBench / SciMark2 stand-ins).
+
+The paper's embedded domain: adpcm, fft, sor and whetstone — the four
+applications Table IV's break-even extrapolation averages over.
+"""
 
 from repro.apps.embedded.adpcm import APP as ADPCM
 from repro.apps.embedded.fft import APP as FFT

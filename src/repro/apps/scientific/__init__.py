@@ -1,4 +1,8 @@
-"""Scientific benchmark applications (SPEC2000/2006 stand-ins)."""
+"""Scientific benchmark applications (SPEC2000/2006 stand-ins).
+
+The paper's scientific domain: ten SPEC2000/2006 stand-ins analysed
+alongside the embedded suite in Tables I and II.
+"""
 
 from repro.apps.scientific.gzip_164 import APP as GZIP
 from repro.apps.scientific.art_179 import APP as ART

@@ -18,13 +18,19 @@ Commands:
 - ``runs list|show|diff`` — inspect the run ledger (``.repro-runs/``);
 - ``regress`` — compare the latest recorded run against a baseline run
   cell-by-cell, exiting non-zero on regression (CI gate);
+- ``cache stats|clear`` — inspect or empty the persistent bitstream cache
+  (``.repro-cache/``, Section VI-A);
+- ``bench`` — measure the parallel runner and the persistent cache against
+  the serial cold baseline, writing ``BENCH_parallel.json``;
 - ``tail <file>`` — render the last records of a JSONL event log.
 
 Every command accepts ``--trace FILE`` (export a JSONL span trace of the
 run), ``--metrics`` (print a metrics snapshot after the run), ``--log
 FILE`` (write a structured JSONL event log), and ``--ledger [DIR]``
 (record the run — manifest, trace, and event log — in the run ledger);
-see :mod:`repro.obs`.
+see :mod:`repro.obs`. The suite-running commands (``analyze``, ``tables``,
+``fidelity``) additionally accept ``--jobs N`` / ``--backend`` (worker-pool
+sharding) and ``--cache [DIR]`` (persistent bitstream cache).
 """
 
 from __future__ import annotations
@@ -34,6 +40,15 @@ import math
 import sys
 
 from repro.util.timefmt import format_dhms, format_hms
+
+
+def _parallel_kwargs(args: argparse.Namespace) -> dict:
+    """The suite runner's jobs/backend/cache kwargs from parsed options."""
+    return {
+        "jobs": getattr(args, "jobs", 1),
+        "backend": getattr(args, "backend", "process"),
+        "cache": getattr(args, "cache", None),
+    }
 
 
 def _cmd_tables(args: argparse.Namespace) -> int:
@@ -48,7 +63,7 @@ def _cmd_tables(args: argparse.Namespace) -> int:
     }
     selected = generators.keys() if which == "all" else [which]
     for key in selected:
-        table = generators[key]()
+        table = generators[key](**_parallel_kwargs(args))
         print(table.render())
         print()
     return 0
@@ -85,9 +100,21 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         return 2
 
     from repro.experiments import analyze_app
+    from repro.experiments.runner import resolve_bitstream_cache
 
-    a = analyze_app(args.app)
+    bitstream_cache = resolve_bitstream_cache(getattr(args, "cache", None))
+    a = analyze_app(
+        args.app,
+        jobs=getattr(args, "jobs", 1),
+        bitstream_cache=bitstream_cache,
+    )
     _attach_run_scalars([a])
+    if bitstream_cache is not None:
+        from repro.obs.ledger import current_run
+
+        recorder = current_run()
+        if recorder is not None:
+            recorder.attach_cache(bitstream_cache.stats())
     comp = a.compiled.compilation
     print(f"{a.name} ({a.domain})")
     print(
@@ -136,8 +163,9 @@ def _cmd_analyze_domain(args: argparse.Namespace) -> int:
     from repro.experiments import analyze_suite
 
     domain = None if args.domain == "all" else args.domain
-    # analyze_suite attaches its scalars to the active ledger run itself.
-    analyses = analyze_suite(domain)
+    # analyze_suite attaches its scalars (and cache statistics) to the
+    # active ledger run itself.
+    analyses = analyze_suite(domain, **_parallel_kwargs(args))
     for a in analyses:
         be = a.breakeven.live_aware_seconds
         print(
@@ -319,7 +347,10 @@ def _cmd_fidelity(args: argparse.Namespace) -> int:
 
     out = args.out or default_report_path(args.domain)
     report = run_fidelity(
-        domain=args.domain, out=out, include_table4=args.full
+        domain=args.domain,
+        out=out,
+        include_table4=args.full,
+        **_parallel_kwargs(args),
     )
     print(report.render())
     print(f"\nwrote fidelity report: {out}")
@@ -419,6 +450,41 @@ def _cmd_regress(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.core.cache import PersistentBitstreamCache
+
+    cache = PersistentBitstreamCache(root=args.dir)
+    if args.cache_command == "clear":
+        dropped = cache.clear()
+        print(f"cleared {dropped} cached bitstream(s) from {cache.root}")
+        return 0
+    stats = cache.stats()
+    print(f"bitstream cache at {stats['root']}:")
+    print(f"  entries:   {stats['entries']}")
+    print(f"  bytes:     {stats['bytes']}")
+    if stats["hits"] or stats["misses"]:
+        print(
+            f"  session:   {stats['hits']} hit(s), {stats['misses']} miss(es)"
+        )
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.obs.bench import render_bench, run_parallel_bench
+
+    report = run_parallel_bench(
+        domain=args.domain,
+        jobs=args.jobs,
+        backend=args.backend,
+        out=args.out,
+        cache_dir=args.cache_dir,
+    )
+    print(render_bench(report))
+    if args.out:
+        print(f"\nwrote benchmark report: {args.out}")
+    return 0
+
+
 def _cmd_tail(args: argparse.Namespace) -> int:
     from repro.obs.log import read_log, render_tail
 
@@ -478,10 +544,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="record this run (manifest + trace + event log) in the run "
         "ledger (default dir: .repro-runs)",
     )
+    parallel_options = argparse.ArgumentParser(add_help=False)
+    parallel_options.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shard the suite across N workers (default: 1 = serial)",
+    )
+    parallel_options.add_argument(
+        "--backend",
+        choices=["process", "thread"],
+        default="process",
+        help="worker pool flavour for --jobs (default: process; use thread "
+        "to keep --log event records complete)",
+    )
+    parallel_options.add_argument(
+        "--cache",
+        metavar="DIR",
+        nargs="?",
+        const=".repro-cache",
+        default=None,
+        help="serve previously implemented candidates from the persistent "
+        "bitstream cache (default dir: .repro-cache)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_tables = sub.add_parser(
-        "tables", parents=[obs_options], help="regenerate the paper's tables"
+        "tables",
+        parents=[obs_options, parallel_options],
+        help="regenerate the paper's tables",
     )
     p_tables.add_argument(
         "which", nargs="?", default="all", choices=["1", "2", "3", "4", "all"]
@@ -497,7 +589,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_analyze = sub.add_parser(
         "analyze",
-        parents=[obs_options],
+        parents=[obs_options, parallel_options],
         help="analyze one application or a whole domain",
     )
     p_analyze.add_argument(
@@ -571,7 +663,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_fidelity = sub.add_parser(
         "fidelity",
-        parents=[obs_options],
+        parents=[obs_options, parallel_options],
         help="compare a run against the paper's published table values",
     )
     p_fidelity.add_argument(
@@ -676,6 +768,65 @@ def build_parser() -> argparse.ArgumentParser:
         "--all", action="store_true", help="show unchanged cells too"
     )
     p_regress.set_defaults(fn=_cmd_regress, trace=None, metrics=False, log=None)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or clear the persistent bitstream cache"
+    )
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    cache_dir_kwargs = dict(
+        metavar="DIR",
+        dest="dir",
+        default=".repro-cache",
+        help="cache directory (default: .repro-cache)",
+    )
+    p_cache_stats = cache_sub.add_parser(
+        "stats", help="show entry count, bytes, and session hit/miss counts"
+    )
+    p_cache_stats.add_argument("--dir", **cache_dir_kwargs)
+    p_cache_clear = cache_sub.add_parser(
+        "clear", help="drop every cached bitstream"
+    )
+    p_cache_clear.add_argument("--dir", **cache_dir_kwargs)
+    for p in (p_cache, p_cache_stats, p_cache_clear):
+        p.set_defaults(fn=_cmd_cache, trace=None, metrics=False, log=None)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="benchmark the parallel runner and the persistent cache",
+    )
+    p_bench.add_argument(
+        "--domain",
+        choices=["embedded", "scientific", "all"],
+        default="embedded",
+        help="application subset to benchmark (default: embedded)",
+    )
+    p_bench.add_argument(
+        "--jobs",
+        type=int,
+        default=4,
+        metavar="N",
+        help="worker count for the parallel phase (default: 4)",
+    )
+    p_bench.add_argument(
+        "--backend",
+        choices=["process", "thread"],
+        default="process",
+        help="worker pool flavour (default: process)",
+    )
+    p_bench.add_argument(
+        "--out",
+        metavar="FILE",
+        default="BENCH_parallel.json",
+        help="report path (default: BENCH_parallel.json)",
+    )
+    p_bench.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="cache directory for the warm phases (default: a temporary "
+        "directory, removed afterwards)",
+    )
+    p_bench.set_defaults(fn=_cmd_bench, trace=None, metrics=False, log=None)
 
     p_tail = sub.add_parser(
         "tail", help="render the last records of a JSONL event log"

@@ -1,15 +1,27 @@
-"""Per-application analysis pipeline shared by all experiment drivers."""
+"""Per-application analysis pipeline shared by all experiment drivers.
+
+Runs the specialization process of Figure 2 for each application and
+collects everything Tables I-IV need. :func:`analyze_suite` optionally
+shards the per-app analyses across a worker pool (``jobs``/``backend``)
+and consults a persistent bitstream cache (Section VI-A) before invoking
+the CAD flow — both default off, so the paper-faithful serial behaviour
+is unchanged.
+"""
 
 from __future__ import annotations
 
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.apps import ALL_APPS, AppSpec, CompiledApp, compile_app, get_app
 from repro.core.asip_sp import AsipSpecializationProcess, SpecializationReport
 from repro.core.breakeven import BreakEvenAnalysis, BreakEvenModel
+from repro.core.cache import PersistentBitstreamCache
 from repro.ise.pruning import NO_PRUNING, PruningFilter
 from repro.ise.selection import CandidateSearch, CandidateSearchResult
-from repro.obs import get_tracer
+from repro.obs import get_metrics, get_tracer, tracer_records
 from repro.profiling import CoverageAnalysis, KernelAnalysis, classify_blocks, compute_kernel
 from repro.vm.jitruntime import JitRuntimeModel, RuntimeEstimate
 from repro.vm.profiler import ExecutionProfile
@@ -86,11 +98,17 @@ def analyze_app(
     machine: WoolcanoMachine | None = None,
     use_cache: bool = True,
     pruning: PruningFilter | None = None,
+    jobs: int = 1,
+    bitstream_cache: PersistentBitstreamCache | None = None,
 ) -> AppAnalysis:
     """Run the complete analysis pipeline for one application.
 
     *pruning* overrides the Table II search filter (default ``@50pS3L``);
-    the full-search ASIP upper bound always runs unpruned.
+    the full-search ASIP upper bound always runs unpruned. *jobs* > 1 fans
+    the CAD implementation of this app's candidates across worker threads;
+    *bitstream_cache* serves previously implemented candidates from the
+    persistent store. Neither changes the analysis results, so the memo
+    key deliberately ignores them.
     """
     key = _cache_key(name, machine, pruning)
     if use_cache and key in _CACHE:
@@ -125,7 +143,9 @@ def analyze_app(
         asip_sp = AsipSpecializationProcess(
             search=CandidateSearch(
                 pruning=pruning, cost_model=machine.cost_model
-            )
+            ),
+            bitstream_cache=bitstream_cache,
+            jobs=max(1, jobs),
         )
         specialization = asip_sp.run(module, train)
         search_pruned = specialization.search
@@ -161,8 +181,117 @@ def analyze_app(
     return analysis
 
 
+def resolve_bitstream_cache(cache) -> PersistentBitstreamCache | None:
+    """Normalize a cache argument: None, a directory path, or an instance."""
+    if cache is None or isinstance(cache, PersistentBitstreamCache):
+        return cache
+    return PersistentBitstreamCache(root=cache)
+
+
+def _process_worker(name: str, tracing: bool, metrics: bool, cache_root):
+    """Analyze one app in a worker process; returns the mergeable evidence.
+
+    Runs in the pool child. The child replaces the (fork-inherited)
+    process-global tracer/metrics/log with fresh instances so the exported
+    records contain exactly this app's evidence and nothing bleeds into the
+    parent's sinks; the parent absorbs spans, merges the metrics snapshot,
+    and folds the cache counters back so the suite totals match a serial
+    run.
+    """
+    from repro.obs.log import EventLog, set_log
+    from repro.obs.metrics import MetricsRegistry, set_metrics
+    from repro.obs.tracer import Tracer, set_tracer
+
+    tracer = set_tracer(Tracer(enabled=tracing))
+    registry = set_metrics(MetricsRegistry(enabled=metrics))
+    set_log(EventLog(enabled=False))
+    cache = (
+        PersistentBitstreamCache(root=cache_root)
+        if cache_root is not None
+        else None
+    )
+    analysis = analyze_app(name, use_cache=False, bitstream_cache=cache)
+    return (
+        analysis,
+        tracer_records(tracer) if tracing else [],
+        registry.snapshot() if metrics else None,
+        cache.counters() if cache is not None else None,
+    )
+
+
+def _analyze_parallel(
+    apps: list[AppSpec],
+    jobs: int,
+    backend: str,
+    cache: PersistentBitstreamCache | None,
+    suite_span,
+) -> list[AppAnalysis]:
+    """Shard per-app analyses across a worker pool; results in paper order.
+
+    The ``process`` backend (default) gives real CPU parallelism: each app
+    runs in a pool child under fresh observability globals and the parent
+    merges spans (:meth:`Tracer.absorb`), metrics
+    (:meth:`MetricsRegistry.merge_snapshot`), and cache counters back, so
+    the recorded evidence is shape-identical to a serial run. Worker
+    event-log records are the one exception — they cannot reach the
+    parent's sink; use the ``thread`` backend when ``--log`` completeness
+    matters more than speed.
+    """
+    tracer = get_tracer()
+    registry = get_metrics()
+    fanout_start = time.perf_counter()
+
+    if backend == "thread":
+
+        def run_one(spec: AppSpec) -> AppAnalysis:
+            with tracer.child_context(suite_span):
+                return analyze_app(spec.name, bitstream_cache=cache)
+
+        with ThreadPoolExecutor(max_workers=min(jobs, len(apps))) as pool:
+            return list(pool.map(run_one, apps))
+
+    if backend != "process":
+        raise ValueError(f"unknown backend {backend!r} (thread or process)")
+
+    # Prefer fork: children inherit the imported interpreter state, so a
+    # worker starts in milliseconds; fall back to the platform default
+    # (spawn on macOS/Windows) where fork is unavailable.
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
+    results: dict[str, AppAnalysis] = {}
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(apps)), mp_context=ctx
+    ) as pool:
+        futures = {
+            spec.name: pool.submit(
+                _process_worker,
+                spec.name,
+                tracer.enabled,
+                registry.enabled,
+                str(cache.root) if cache is not None else None,
+            )
+            for spec in apps
+        }
+        for name, future in futures.items():
+            analysis, records, snapshot, counters = future.result()
+            results[name] = analysis
+            _CACHE[_cache_key(name, None, None)] = analysis
+            if records:
+                tracer.absorb(records, parent=suite_span, base=fanout_start)
+            if snapshot is not None:
+                registry.merge_snapshot(snapshot)
+            if counters is not None and cache is not None:
+                cache.absorb_counters(counters)
+    return [results[spec.name] for spec in apps]
+
+
 def analyze_suite(
-    domain: str | None = None, fidelity_out=None, ledger=None
+    domain: str | None = None,
+    fidelity_out=None,
+    ledger=None,
+    jobs: int = 1,
+    backend: str = "process",
+    cache=None,
 ) -> list[AppAnalysis]:
     """Analyze every application (optionally one domain), in paper order.
 
@@ -177,15 +306,29 @@ def analyze_suite(
     the CLI already opened a recorded run (``--ledger``), the suite only
     attaches its scalar results to that run; otherwise it opens, traces,
     and finalizes a run of its own.
+
+    *jobs* > 1 shards the per-app analyses across a worker pool
+    (*backend* ``process`` or ``thread``); *cache* (a directory path or a
+    :class:`PersistentBitstreamCache`) serves previously implemented
+    candidates across runs. Results are deterministic either way — only
+    the wall-clock and the cache statistics change.
     """
     from repro.obs.ledger import current_run, finish_run, scalars_from_analyses, start_run
 
+    bitstream_cache = resolve_bitstream_cache(cache)
     recorder = current_run()
     owns_run = False
     tracing_was_enabled = True
     if ledger is not None and recorder is None:
         recorder = start_run(
-            ledger, command="analyze-suite", config={"domain": domain or "all"}
+            ledger,
+            command="analyze-suite",
+            config={
+                "domain": domain or "all",
+                "jobs": jobs,
+                "backend": backend if jobs > 1 else None,
+                "cache": str(bitstream_cache.root) if bitstream_cache else None,
+            },
         )
         owns_run = True
         tracing_was_enabled = get_tracer().enabled
@@ -198,11 +341,23 @@ def analyze_suite(
     try:
         apps = [a for a in ALL_APPS if domain is None or a.domain == domain]
         with get_tracer().span(
-            "analysis.suite", domain=domain or "all", apps=len(apps)
-        ):
-            analyses = [analyze_app(a.name) for a in apps]
+            "analysis.suite", domain=domain or "all", apps=len(apps), jobs=jobs
+        ) as suite_span:
+            if jobs > 1 and len(apps) > 1:
+                analyses = _analyze_parallel(
+                    apps, jobs, backend, bitstream_cache, suite_span
+                )
+            else:
+                analyses = [
+                    analyze_app(
+                        a.name, jobs=jobs, bitstream_cache=bitstream_cache
+                    )
+                    for a in apps
+                ]
         if recorder is not None:
             recorder.attach_scalars(scalars_from_analyses(analyses))
+            if bitstream_cache is not None:
+                recorder.attach_cache(bitstream_cache.stats())
         if fidelity_out is not None:
             from repro.obs.fidelity import fidelity_from_analyses
 

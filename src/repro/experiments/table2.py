@@ -155,5 +155,12 @@ class Table2:
         return table.render()
 
 
-def generate_table2() -> Table2:
-    return Table2(rows=[row_for(a) for a in analyze_suite()])
+def generate_table2(
+    jobs: int = 1, backend: str = "process", cache=None
+) -> Table2:
+    return Table2(
+        rows=[
+            row_for(a)
+            for a in analyze_suite(jobs=jobs, backend=backend, cache=cache)
+        ]
+    )

@@ -41,9 +41,14 @@ def generate_table4(
     hit_rates: list[int] | None = None,
     cad_speedups: list[int] | None = None,
     trials: int = 16,
+    jobs: int = 1,
+    backend: str = "process",
+    cache=None,
 ) -> Table4:
     apps = []
-    for analysis in analyze_suite("embedded"):
+    for analysis in analyze_suite(
+        "embedded", jobs=jobs, backend=backend, cache=cache
+    ):
         apps.append(
             AppBreakEvenInputs(
                 name=analysis.name,

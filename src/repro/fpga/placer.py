@@ -5,6 +5,9 @@ the region's CLB grid. Deterministically seeded per design so results are
 reproducible. If the design does not fit the region, placement fails — the
 Woolcano region is sized for custom-instruction datapaths, not arbitrary
 logic.
+
+Stands in for the placement half of the paper's ``par`` stage, whose
+runtime share Table III and Section V-C quantify.
 """
 
 from __future__ import annotations

@@ -5,6 +5,9 @@ share a cell when connected (the classic LUT/FF packing), DSP48 and RAMB16
 occupy dedicated cells. The mapper is connectivity-greedy: it prefers to
 pack a flip-flop with the LUT that drives it, which reduces inter-cell nets
 and gives the placer a meaningful problem.
+
+Stands in for the Xilinx ``map`` stage of the paper's CAD flow; its
+reported runtime is modelled after Table III by :mod:`repro.fpga.timingmodel`.
 """
 
 from __future__ import annotations

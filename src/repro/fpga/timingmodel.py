@@ -33,6 +33,13 @@ from repro.util.rng import DeterministicRng
 # Reference complexity: effective LUT count at which Map hits its maximum.
 _REF_EFF_LUTS = 5500.0
 
+#: Version of the calibrated timing model. Part of the persistent
+#: bitstream-cache key (:mod:`repro.core.cache`): recalibrating the model
+#: must invalidate every cached implementation, because the cached
+#: :class:`StageTimes` were priced under the old constants. Bump on any
+#: change to the stage-time formulas or their calibration constants.
+TIMING_MODEL_VERSION = 1
+
 
 @dataclass(frozen=True)
 class StageTimes:

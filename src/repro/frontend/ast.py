@@ -1,4 +1,8 @@
-"""MiniC abstract syntax tree node definitions."""
+"""MiniC abstract syntax tree node definitions.
+
+The AST is the first stop in the llvm-gcc role this frontend plays in
+the paper's Figure 1 tool flow: source -> AST -> IR bitcode.
+"""
 
 from __future__ import annotations
 

@@ -5,6 +5,9 @@ slot accessed by loads/stores (mem2reg later rebuilds SSA), arrays and
 pointers become GEP arithmetic, short-circuit operators become control flow,
 and the usual arithmetic conversions are applied (rank: double > float >
 long > int).
+
+This lowering puts programs into the bitcode form the paper's ISE
+algorithms operate on (Figure 1, llvm-gcc frontend).
 """
 
 from __future__ import annotations

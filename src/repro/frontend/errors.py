@@ -1,4 +1,8 @@
-"""Frontend diagnostics."""
+"""Frontend diagnostics.
+
+Raised while compiling the MiniC benchmarks — the llvm-gcc stage of the
+paper's Figure 1 tool flow.
+"""
 
 from __future__ import annotations
 

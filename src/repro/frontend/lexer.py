@@ -1,4 +1,8 @@
-"""MiniC lexer."""
+"""MiniC lexer.
+
+First stage of the frontend standing in for llvm-gcc in the paper's
+Figure 1 tool flow.
+"""
 
 from __future__ import annotations
 

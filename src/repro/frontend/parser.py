@@ -1,4 +1,8 @@
-"""MiniC recursive-descent parser with precedence-climbing expressions."""
+"""MiniC recursive-descent parser with precedence-climbing expressions.
+
+Part of the frontend playing llvm-gcc's role in the paper's Figure 1
+tool flow.
+"""
 
 from __future__ import annotations
 

@@ -1,4 +1,9 @@
-"""Basic blocks: straight-line instruction sequences with one terminator."""
+"""Basic blocks: straight-line instruction sequences with one terminator.
+
+Basic blocks are the unit of profiling in the paper: per-block
+execution counts drive the coverage analysis of Section IV-C and the
+pruning that precedes candidate search (Figure 2).
+"""
 
 from __future__ import annotations
 

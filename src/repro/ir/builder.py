@@ -3,6 +3,9 @@
 Mirrors LLVM's ``IRBuilder``: holds an insertion point (a basic block) and
 offers one method per opcode, with eager type checking so malformed IR is
 rejected at build time rather than at verification time.
+
+The IR built here is the reproduction's stand-in for LLVM bitcode in
+the paper's Figure 1 tool flow.
 """
 
 from __future__ import annotations

@@ -5,6 +5,9 @@ the simplify-CFG pass (reachability).
 
 The dominator computation is the Cooper–Harvey–Kennedy iterative algorithm
 over a reverse-postorder numbering, which is near-linear in practice.
+
+These analyses keep the bitcode — the paper's Figure 1 intermediate
+form — well-formed ahead of profiling and candidate search.
 """
 
 from __future__ import annotations

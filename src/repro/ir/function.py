@@ -1,4 +1,8 @@
-"""Functions: argument lists plus an ordered list of basic blocks."""
+"""Functions: argument lists plus an ordered list of basic blocks.
+
+Functions partition the bitcode the paper's tool flow profiles and
+searches for custom-instruction candidates (Figures 1 and 2).
+"""
 
 from __future__ import annotations
 

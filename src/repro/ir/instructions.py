@@ -5,6 +5,9 @@ A few opcodes carry extra static attributes (comparison predicate, GEP
 element size, call target, branch targets); these live in ``attrs`` fields
 rather than subclasses, except PHI which genuinely needs different structure
 (per-predecessor incoming values).
+
+Instruction def-use edges form the per-block dataflow graphs in which
+the paper's candidate search looks for custom instructions (Figure 2).
 """
 
 from __future__ import annotations

@@ -1,4 +1,8 @@
-"""Modules: the top-level IR container (globals + functions)."""
+"""Modules: the top-level IR container (globals + functions).
+
+A module is the unit the paper's tool flow compiles, profiles and
+specializes (Figure 1).
+"""
 
 from __future__ import annotations
 

@@ -3,6 +3,9 @@
 Folds pure instructions whose operands are all constants, and applies a
 small set of identities (x+0, x*1, x*0, x-x, x&0, x|0, select on constant,
 branch on constant is left to simplify-cfg).
+
+Part of the standard pipeline standing in for the LLVM -O passes the
+paper's tool flow applies before candidate search (Figure 1).
 """
 
 from __future__ import annotations

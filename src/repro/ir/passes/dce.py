@@ -1,4 +1,8 @@
-"""Dead code elimination: remove pure instructions with no uses."""
+"""Dead code elimination: remove pure instructions with no uses.
+
+Runs in the standard pipeline standing in for LLVM's -O passes in the
+paper's Figure 1 tool flow.
+"""
 
 from __future__ import annotations
 

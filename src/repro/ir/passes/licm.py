@@ -7,6 +7,9 @@ loop lowering produces such blocks for ``while``/``for`` loops, so this pass
 does not create preheaders itself — loops without one are skipped.
 
 Division is not hoisted (it may trap and the loop body may be guarded).
+
+Mirrors the LLVM loop optimizations the paper's tool flow applies
+before profiling and candidate search (Figure 1).
 """
 
 from __future__ import annotations

@@ -1,4 +1,8 @@
-"""Pass manager: sequences passes and (optionally) verifies between them."""
+"""Pass manager: sequences passes and (optionally) verifies between them.
+
+The pipeline stands in for the LLVM -O stage of the paper's Figure 1
+tool flow; per-pass timings feed the compile span of the trace output.
+"""
 
 from __future__ import annotations
 

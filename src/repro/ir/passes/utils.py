@@ -1,4 +1,8 @@
-"""Shared helpers for passes."""
+"""Shared helpers for passes.
+
+Shared by the passes standing in for LLVM's -O pipeline in the
+paper's Figure 1 tool flow.
+"""
 
 from __future__ import annotations
 

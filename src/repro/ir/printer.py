@@ -1,4 +1,8 @@
-"""Textual IR printer (LLVM-flavoured, for debugging and golden tests)."""
+"""Textual IR printer (LLVM-flavoured, for debugging and golden tests).
+
+Gives the reproduction's LLVM-bitcode stand-in (paper Figure 1) a
+stable textual form.
+"""
 
 from __future__ import annotations
 

@@ -4,6 +4,9 @@ Round-trips with the printer (``parse_module(print_module(m))`` rebuilds an
 equivalent module), enabling golden tests, IR diffing, and storing bitcode
 snapshots as text. Not a general-purpose assembler: it accepts exactly the
 printer's output grammar.
+
+The textual form is this reproduction's analogue of the paper's
+on-disk bitcode (Figure 1).
 """
 
 from __future__ import annotations

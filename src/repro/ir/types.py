@@ -5,6 +5,10 @@ of 1/8/16/32/64 bits, IEEE floats of 32/64 bits, and an opaque byte-addressed
 pointer type. Aggregates are handled by the frontend, which lowers arrays and
 structs to pointer arithmetic (as llvm-gcc does before the ISE algorithms see
 the code).
+
+The scalar-only discipline mirrors the bitcode the paper's candidate
+search inspects (Figure 2): aggregates are gone before ISE identification
+runs.
 """
 
 from __future__ import annotations

@@ -2,6 +2,9 @@
 
 Instructions (defined in :mod:`repro.ir.instructions`) are also values; the
 classes here are the non-instruction leaves of the operand graph.
+
+Together with instructions, these leaves form the operand graphs the
+paper's candidate search walks (Figure 2).
 """
 
 from __future__ import annotations

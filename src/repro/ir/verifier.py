@@ -13,6 +13,9 @@ Checks the structural invariants the rest of the system relies on:
 The frontend runs the verifier after codegen and after every optimization
 pass (in pedantic mode), so a verifier failure in the wild always points at
 a compiler bug rather than silently corrupting downstream analyses.
+
+Run between passes so the bitcode handed to the paper's profiling and
+candidate-search phases (Figures 1 and 2) is always well-formed.
 """
 
 from __future__ import annotations

@@ -5,6 +5,9 @@ enumeration (exponential, multi-output): start from the MAXMISO partition
 and greedily merge adjacent MAXMISOs (those connected by a def-use edge or
 sharing an input) into multi-output candidates while the I/O constraints
 hold and the merged subgraph stays convex.
+
+A comparison algorithm alongside the MAXMISO identification the paper
+uses in its candidate-search phase (Figure 2).
 """
 
 from __future__ import annotations

@@ -359,11 +359,16 @@ def run_fidelity(
     domain: str = "embedded",
     out=None,
     include_table4: bool = False,
+    jobs: int = 1,
+    backend: str = "process",
+    cache=None,
 ) -> FidelityReport:
     """Run the analysis suite for *domain* and compare it to the paper.
 
     ``domain`` is "embedded", "scientific" or "all". When *out* is given the
-    report is also written there as ``BENCH_*.json``.
+    report is also written there as ``BENCH_*.json``. *jobs*/*backend*/
+    *cache* are forwarded to the suite runner; they change the wall clock,
+    not the compared cells.
     """
     from repro.experiments.runner import analyze_suite
     from repro.obs.tracer import get_tracer
@@ -372,7 +377,12 @@ def run_fidelity(
         raise ValueError(f"unknown domain {domain!r}")
     t0 = time.perf_counter()
     with get_tracer().span("fidelity.run", domain=domain):
-        analyses = analyze_suite(None if domain == "all" else domain)
+        analyses = analyze_suite(
+            None if domain == "all" else domain,
+            jobs=jobs,
+            backend=backend,
+            cache=cache,
+        )
         report = fidelity_from_analyses(
             analyses, domain=domain, include_table4=include_table4
         )

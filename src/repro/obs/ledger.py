@@ -271,6 +271,7 @@ class RunRecorder:
     started: float = field(default_factory=time.perf_counter)
     scalars: dict | None = None
     fidelity: dict | None = None
+    cache: dict | None = None
     artifacts: dict = field(default_factory=dict)
 
     @property
@@ -279,6 +280,15 @@ class RunRecorder:
 
     def attach_scalars(self, scalars: dict) -> None:
         self.scalars = scalars
+
+    def attach_cache(self, stats: dict) -> None:
+        """Record persistent bitstream-cache statistics for this run.
+
+        The regression sentinel reports these cells as informational and
+        demotes the ``cad.*`` work cells when two compared runs used the
+        cache differently (a warm run legitimately skips CAD work).
+        """
+        self.cache = dict(stats)
 
     def attach_fidelity(self, report) -> None:
         """Record a :class:`repro.obs.fidelity.FidelityReport`'s cells."""
@@ -336,6 +346,7 @@ class RunRecorder:
             "metrics": _json_safe(metrics.snapshot()) if metrics else None,
             "scalars": _json_safe(self.scalars),
             "fidelity": _json_safe(self.fidelity),
+            "cache": _json_safe(self.cache),
             "artifacts": _json_safe(self.artifacts),
         }
         manifest_path = self.run_dir / "manifest.json"

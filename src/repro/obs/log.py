@@ -18,6 +18,10 @@ registry, the process-global log is **disabled** until
 :func:`enable_logging` is called and instrumentation sites gate on
 ``get_log().enabled``, so the cost on an unlogged run is one attribute
 check.
+
+The record stream is the narrative counterpart to the paper's
+aggregate tables: CAD stage events carry the same stage names as
+Table III.
 """
 
 from __future__ import annotations

@@ -134,6 +134,30 @@ class Histogram:
             cumulative += bucket_count
         return self.max
 
+    def merge_dict(self, data: dict) -> None:
+        """Fold a same-bucketed histogram snapshot (:meth:`as_dict`) in.
+
+        Used by the sharded experiment runner to merge worker-process
+        registries back into the suite registry: bucket counts, count, and
+        sum add; min/max widen. The bucket layout must match.
+        """
+        buckets = data.get("buckets") or {}
+        with self._lock:
+            labels = [f"le_{b:g}" for b in self.bounds] + ["inf"]
+            if set(buckets) != set(labels):
+                raise ValueError(
+                    f"histogram {self.name!r}: cannot merge snapshot with "
+                    f"different bucket layout"
+                )
+            for i, label in enumerate(labels):
+                self.bucket_counts[i] += int(buckets[label])
+            self.count += int(data.get("count", 0))
+            self.sum += float(data.get("sum", 0.0))
+            if data.get("min") is not None:
+                self.min = min(self.min, float(data["min"]))
+            if data.get("max") is not None:
+                self.max = max(self.max, float(data["max"]))
+
     def as_dict(self) -> dict:
         with self._lock:
             return {
@@ -182,6 +206,20 @@ class MetricsRegistry:
             if inst is None:
                 inst = self._histograms[name] = Histogram(name, buckets)
             return inst
+
+    def merge_snapshot(self, snap: dict) -> None:
+        """Fold a worker registry's :meth:`snapshot` into this registry.
+
+        Counters add, gauges take the incoming value (last write wins),
+        histograms merge bucket-by-bucket — so a suite run sharded over
+        worker processes produces the same totals as a serial run.
+        """
+        for name, value in (snap.get("counters") or {}).items():
+            self.counter(name).inc(int(value))
+        for name, value in (snap.get("gauges") or {}).items():
+            self.gauge(name).set(value)
+        for name, data in (snap.get("histograms") or {}).items():
+            self.histogram(name).merge_dict(data)
 
     def snapshot(self) -> dict:
         """Plain-dict view of every instrument's current state."""

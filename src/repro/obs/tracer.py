@@ -26,6 +26,7 @@ from __future__ import annotations
 import itertools
 import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 
@@ -171,6 +172,77 @@ class Tracer:
                 stack.pop()
         with self._lock:
             self._finished.append(span)
+
+    # -- sharded runners -----------------------------------------------------
+    @contextmanager
+    def child_context(self, parent: Span | None):
+        """Parent this thread's spans under *parent* for the duration.
+
+        A worker thread has an empty span stack, so spans it opens would
+        become roots; the sharded experiment runner wraps each unit of work
+        in ``child_context(suite_span)`` so the per-app / per-candidate
+        spans stay attached to the tree the main thread is building. The
+        parent span itself is owned (and finished) by its opening thread —
+        here it is only a parenting reference.
+        """
+        if not self.enabled or parent is None:
+            yield
+            return
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        stack.append(parent)
+        try:
+            yield
+        finally:
+            # A leaked span may sit above the parent; pop through, like
+            # _finish does when exceptions unwind several spans at once.
+            while stack and stack[-1] is not parent:
+                stack.pop()
+            if stack:
+                stack.pop()
+
+    def absorb(self, records, parent: Span | None = None, base: float | None = None) -> int:
+        """Merge exported span records from a worker process into this tracer.
+
+        *records* are :class:`repro.obs.export.SpanRecord`-shaped objects
+        (``name``/``span_id``/``parent_id``/``t0``/``t1``/``thread``/
+        ``attrs``) with times relative to the worker tracer's epoch. Span
+        ids are remapped onto this tracer's id space, roots are reparented
+        under *parent*, and times are rebased so the absorbed subtree
+        starts at *base* (a ``perf_counter`` timestamp; default: the
+        fan-out is assumed to have just finished). Returns the number of
+        spans absorbed.
+        """
+        recs = list(records)
+        if not self.enabled or not recs:
+            return 0
+        if base is None:
+            extent = max(r.t1 for r in recs)
+            base = time.perf_counter() - extent
+        ids = {r.span_id: self._next_id() for r in recs}
+        fallback = parent.span_id if parent is not None else None
+        absorbed = []
+        for r in recs:
+            absorbed.append(
+                Span(
+                    name=r.name,
+                    span_id=ids[r.span_id],
+                    parent_id=(
+                        ids.get(r.parent_id, fallback)
+                        if r.parent_id is not None
+                        else fallback
+                    ),
+                    start=base + r.t0,
+                    attrs=dict(r.attrs),
+                    end=base + r.t1,
+                    thread=r.thread,
+                    tracer=self,
+                )
+            )
+        with self._lock:
+            self._finished.extend(absorbed)
+        return len(absorbed)
 
     # -- inspection ----------------------------------------------------------
     def current_span(self) -> Span | None:

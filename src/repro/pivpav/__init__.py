@@ -7,6 +7,9 @@ used during candidate selection (:mod:`repro.pivpav.estimator`), a datapath
 generator that emits structural VHDL for a candidate
 (:mod:`repro.pivpav.vhdlgen`), and a netlist store that lets the CAD flow
 skip re-synthesis of the IP cores (:mod:`repro.pivpav.netlistcache`).
+
+The paper's netlist-generation phase (Figure 2) draws its cores,
+estimates and netlists from this package.
 """
 
 from repro.pivpav.metrics import CoreMetrics

@@ -4,6 +4,10 @@ Maps IP core names to :class:`CoreRecord` objects bundling the core's
 specification, its 90+ synthesis metrics and its pre-synthesized netlist.
 Everything is generated deterministically at construction, standing in for
 the authors' database of actually synthesized cores.
+
+Stands in for the database behind the paper's PivPav tool ([8]), the
+source of pre-synthesized cores for the netlist-generation phase of
+Figure 2.
 """
 
 from __future__ import annotations

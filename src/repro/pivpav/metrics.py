@@ -5,6 +5,9 @@ model the ones the tool flow consumes as first-class fields (timing, area,
 power) and generate the long tail of secondary metrics (per-pin
 capacitances, slice occupancy by type, configuration frame counts, ...)
 deterministically so that the metric-count contract holds.
+
+The metric count honours the paper's description of PivPav ([8]) as
+carrying more than 90 metrics per circuit.
 """
 
 from __future__ import annotations

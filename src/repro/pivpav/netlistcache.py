@@ -11,6 +11,7 @@ assert that repeated candidates never re-extract.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from repro.pivpav.database import CircuitDatabase, default_database
@@ -19,26 +20,37 @@ from repro.pivpav.netlist import Netlist
 
 @dataclass
 class NetlistCache:
-    """Core-name-keyed netlist cache in front of the circuit database."""
+    """Core-name-keyed netlist cache in front of the circuit database.
+
+    Lookups are atomic under a lock: one :class:`repro.fpga.CadToolFlow`
+    is shared by every candidate of an application, and the parallel
+    specialization runner (``jobs > 1``) implements candidates from worker
+    threads — without the lock two concurrent first extractions of the
+    same core would double-count the miss.
+    """
 
     database: CircuitDatabase | None = None
     _store: dict[str, Netlist] = field(default_factory=dict)
     hits: int = 0
     misses: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.database is None:
             self.database = default_database()
 
     def get(self, core_name: str) -> Netlist:
-        nl = self._store.get(core_name)
-        if nl is not None:
-            self.hits += 1
+        with self._lock:
+            nl = self._store.get(core_name)
+            if nl is not None:
+                self.hits += 1
+                return nl
+            self.misses += 1
+            nl = self.database.record(core_name).netlist
+            self._store[core_name] = nl
             return nl
-        self.misses += 1
-        nl = self.database.record(core_name).netlist
-        self._store[core_name] = nl
-        return nl
 
     def extract_all(self, core_names: list[str]) -> dict[str, Netlist]:
         """Extract netlists for every core of a candidate (Extract Netlists)."""

@@ -11,6 +11,9 @@ Component semantics are derived from the IP-core names (the same names the
 circuit database uses), with the constant-folding evaluators providing the
 arithmetic so VHDL simulation, interpreter and patcher share one source of
 scalar truth.
+
+Backstops the VHDL that the paper's netlist-generation phase (Figure 2)
+emits for each candidate.
 """
 
 from __future__ import annotations

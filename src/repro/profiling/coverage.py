@@ -1,4 +1,9 @@
-"""Live/dead/const code classification across multiple input data sets."""
+"""Live/dead/const code classification across multiple input data sets.
+
+Implements the coverage methodology of the paper's Section IV-C:
+blocks are *dead*, *const* or *live* according to how their execution
+counts vary across input data sets.
+"""
 
 from __future__ import annotations
 

@@ -15,6 +15,9 @@ once into a list of Python closures with operands resolved at compile time
 — constants and global addresses are baked in, SSA values become direct
 dict lookups. This removes the per-execution isinstance/dispatch overhead
 that dominated the naive tree-walking interpreter (~2.5x faster).
+
+This is the execution half of the paper's LLVM JIT VM (Figure 1); the
+profiles it records feed the coverage analysis of Section IV-C.
 """
 
 from __future__ import annotations

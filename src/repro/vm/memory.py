@@ -10,6 +10,10 @@ Layout (addresses are plain ints; address 0 is reserved as NULL):
     [0 .. globals_end)     globals
     [globals_end .. heap)  stack (grows upward, per-frame bump regions)
     [heap .. size)         heap (bump allocator, no free-list)
+
+Gives the interpreter — the paper's VM stand-in (Figure 1) — concrete
+C memory semantics so the benchmark kernels behave like their native
+counterparts.
 """
 
 from __future__ import annotations

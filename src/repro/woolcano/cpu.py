@@ -1,4 +1,9 @@
-"""The PowerPC-405 base CPU of the Woolcano architecture."""
+"""The PowerPC-405 base CPU of the Woolcano architecture.
+
+The hard processor core of the Woolcano architecture the paper
+targets; its cycle cost model produces the software runtimes behind
+Table I.
+"""
 
 from __future__ import annotations
 

@@ -5,6 +5,9 @@ Internal Configuration Access Port. On Virtex-4 the ICAP is 32 bits wide at
 100 MHz -> ~400 MB/s peak; practical controllers reach a fraction of that.
 Reconfiguration time is therefore milliseconds — negligible next to the
 minutes-scale CAD flow, but modelled so the runtime accounting is complete.
+
+Reconfiguration cost is part of the specialization overhead the
+paper accounts for in its break-even analysis (Section V).
 """
 
 from __future__ import annotations
