@@ -4,7 +4,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 # Worker count for the parallel leg of `make regress` (1 = serial).
 JOBS ?= 1
 
-.PHONY: test trace-smoke fidelity tables regress docs-lint bench-parallel
+.PHONY: test trace-smoke fidelity tables regress docs-lint bench-parallel whatif-smoke
 
 # Tier-1 verification: the full test suite.
 test:
@@ -35,6 +35,15 @@ regress:
 	$(PYTHON) -m repro analyze --domain embedded --ledger --jobs $(JOBS)
 	$(PYTHON) -m repro runs list
 	$(PYTHON) -m repro regress --baseline latest~1
+
+# Critical-path / what-if smoke: record one fft run in the ledger, analyze
+# its critical path (the Table III Bitgen-dominance line must render), then
+# replay the Table IV grid from the trace and cross-check it cell-by-cell
+# against the analytic model; writes the whatif_grid.json artifact.
+whatif-smoke:
+	$(PYTHON) -m repro analyze fft --ledger
+	$(PYTHON) -m repro critpath latest
+	$(PYTHON) -m repro whatif latest --grid --out whatif_grid.json
 
 # Documentation lint: every module docstring names its paper anchor, all
 # relative markdown links resolve, README links the architecture tour.

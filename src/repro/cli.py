@@ -15,9 +15,17 @@ Commands:
   kernel blocks flagged);
 - ``fidelity`` — compare a run's tables against the paper's published
   values and write a machine-readable ``BENCH_*.json`` report;
-- ``runs list|show|diff`` — inspect the run ledger (``.repro-runs/``);
+- ``runs list|show|diff|gc`` — inspect or garbage-collect the run ledger
+  (``.repro-runs/``);
 - ``regress`` — compare the latest recorded run against a baseline run
   cell-by-cell, exiting non-zero on regression (CI gate);
+- ``critpath RUN`` — reconstruct the specialization DAG of a recorded run
+  from its span trace: critical path and per-stage slack on both clocks,
+  plus the Amdahl-style break-even headroom table;
+- ``whatif RUN`` — replay a recorded run under hypothetical knobs (cache
+  hit rate, CAD speedups, parallel CAD workers); ``--grid`` regenerates
+  the Table IV grid from measured spans and cross-checks it against the
+  analytic model;
 - ``cache stats|clear`` — inspect or empty the persistent bitstream cache
   (``.repro-cache/``, Section VI-A);
 - ``bench`` — measure the parallel runner and the persistent cache against
@@ -248,9 +256,30 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         print()
         print(obs.render_timeline(records))
     if args.chrome:
-        obs.write_chrome_trace(records, args.chrome)
-        print(f"\nwrote Chrome trace_event file: {args.chrome}")
+        snapshot = _sibling_metrics(args.file)
+        obs.write_chrome_trace(records, args.chrome, snapshot=snapshot)
+        extra = " (+ metrics counter tracks)" if snapshot else ""
+        print(f"\nwrote Chrome trace_event file: {args.chrome}{extra}")
     return 0
+
+
+def _sibling_metrics(trace_path) -> dict | None:
+    """Metrics snapshot from a ledger manifest next to *trace_path*, if any.
+
+    A ledger run directory holds ``trace.jsonl`` and ``manifest.json``
+    side by side; replaying such a trace can therefore also export the
+    run's counters as Chrome counter tracks.
+    """
+    import json
+    from pathlib import Path
+
+    manifest = Path(trace_path).parent / "manifest.json"
+    try:
+        data = json.loads(manifest.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    snapshot = data.get("metrics")
+    return snapshot if isinstance(snapshot, dict) else None
 
 
 def _traced_run_records(app_name: str):
@@ -365,10 +394,268 @@ def _cmd_fidelity(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_run_replay(args: argparse.Namespace):
+    """Shared critpath/whatif preamble: (ledger, run_id, replay) or an exit code."""
+    from repro import obs
+    from repro.obs.critpath import RunReplay
+    from repro.obs.ledger import RunLedger
+
+    ledger = RunLedger(args.ledger_dir)
+    try:
+        run_id = ledger.resolve(args.run)
+    except LookupError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    trace_path = ledger.run_dir(run_id) / "trace.jsonl"
+    if not trace_path.is_file():
+        print(
+            f"error: run {run_id} has no trace.jsonl "
+            "(record the run with --ledger so its spans are kept)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        records = obs.read_jsonl(trace_path)
+    except ValueError as exc:
+        print(f"error: invalid trace for run {run_id}: {exc}", file=sys.stderr)
+        return 2
+    replay = RunReplay.from_records(records)
+    if not replay.apps:
+        print(
+            f"error: run {run_id}'s trace contains no specialization "
+            "processes (asip_sp.run spans)",
+            file=sys.stderr,
+        )
+        return 2
+    return ledger, run_id, replay
+
+
+def _breakeven_inputs_or_none(replay):
+    """Per-app break-even inputs, or None when an app is not in the registry."""
+    from repro.obs.whatif import breakeven_inputs
+
+    try:
+        return breakeven_inputs(replay.app_names)
+    except KeyError as exc:
+        print(
+            f"note: break-even replay unavailable (unknown app {exc}); "
+            "overhead-only analysis",
+            file=sys.stderr,
+        )
+        return None
+
+
+def _cmd_critpath(args: argparse.Namespace) -> int:
+    from repro.obs import critpath as cp
+
+    resolved = _resolve_run_replay(args)
+    if isinstance(resolved, int):
+        return resolved
+    ledger, run_id, replay = resolved
+
+    virtual = cp.analyze_critical_path(replay, "virtual")
+    real = cp.analyze_critical_path(replay, "real")
+    candidates = sum(len(a.candidates) for a in replay.apps)
+    print(
+        f"run {run_id}: {len(replay.apps)} app(s) "
+        f"({', '.join(replay.app_names)}), {candidates} candidate chain(s)"
+    )
+    print()
+    print(cp.render_critical_path(virtual))
+    table3 = cp.table3_summary(replay)
+    if table3 is not None:
+        print()
+        print(cp.render_table3_summary(table3))
+    print()
+    print(cp.render_critical_path(real))
+
+    headroom = None
+    inputs = _breakeven_inputs_or_none(replay)
+    if inputs is not None:
+        headroom = cp.headroom_table(replay, inputs)
+        print()
+        print(headroom.render())
+
+    if not args.no_save:
+        path = ledger.attach_block(
+            run_id,
+            "critpath",
+            cp.critpath_block(virtual, real, headroom, table3),
+        )
+        print(f"\nattached critpath block to {path}")
+    return 0
+
+
+def _parse_speedup_specs(specs: list[str]) -> tuple[float, tuple]:
+    """Parse repeatable ``--cad-speedup`` values: ``PCT`` or ``STAGE=PCT``."""
+    uniform = 0.0
+    per_stage: list[tuple[str, float]] = []
+    for spec in specs:
+        stage, sep, value = spec.partition("=")
+        if sep:
+            per_stage.append((stage.strip(), float(value)))
+        else:
+            uniform = float(spec)
+    return uniform, tuple(per_stage)
+
+
+def _cmd_whatif(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import whatif as wi
+
+    resolved = _resolve_run_replay(args)
+    if isinstance(resolved, int):
+        return resolved
+    ledger, run_id, replay = resolved
+
+    inputs = _breakeven_inputs_or_none(replay)
+    if inputs is None:
+        print(
+            "error: whatif needs break-even inputs for the recorded apps",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        uniform, per_stage = _parse_speedup_specs(args.cad_speedup)
+        knobs = wi.WhatIfKnobs(
+            cache_hit_pct=args.cache_hit,
+            cad_speedup_pct=uniform,
+            stage_speedup_pct=per_stage,
+            workers=args.workers,
+            trials=args.trials,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    result = wi.whatif_break_even(replay, inputs, knobs)
+    print(f"run {run_id}: trace-driven what-if replay")
+    print()
+    print(result.render())
+    block: dict = {"scenario": wi.scenario_block(result)}
+
+    # Identity check: with no knobs the replayed baseline must reproduce
+    # the run's recorded break-even times (virtual clock, manifest
+    # rounding). Divergence means the trace no longer explains the result.
+    manifest = ledger.load(run_id)
+    per_app = (manifest.get("scalars") or {}).get("per_app") or {}
+    drifted = []
+    for app in result.apps:
+        recorded = (per_app.get(app.name) or {}).get("break_even_seconds")
+        replayed = app.baseline_break_even
+        if recorded is None:
+            if math.isfinite(replayed):
+                drifted.append(f"{app.name} (recorded never, replayed finite)")
+            continue
+        if not math.isfinite(replayed) or abs(replayed - recorded) > max(
+            1e-5, 1e-5 * abs(recorded)
+        ):
+            drifted.append(
+                f"{app.name} (recorded {recorded:g}, replayed {replayed:g})"
+            )
+    if drifted:
+        print(
+            "warning: replayed baseline break-even diverges from the "
+            "recorded values: " + "; ".join(drifted),
+            file=sys.stderr,
+        )
+    elif per_app:
+        print(
+            f"\nidentity check: replayed baseline matches the recorded "
+            f"break-even of {len(result.apps)} app(s)"
+        )
+
+    status = 0
+    if args.grid:
+        from repro.experiments.table4 import render_grid
+
+        trace_grid = wi.whatif_grid(
+            replay, inputs, workers=args.workers, trials=args.trials
+        )
+        analytic = wi.analytic_grid(inputs, trials=args.trials)
+        check = wi.check_grids(trace_grid, analytic, tolerance=args.tol)
+        print()
+        print(
+            render_grid(
+                trace_grid,
+                title=(
+                    f"What-if Table IV from run {run_id} "
+                    f"({args.workers} worker(s)) [h:m:s]"
+                ),
+            )
+        )
+        print()
+        print(check.render())
+        block.update(wi.grid_block(trace_grid, check, workers=args.workers))
+        if args.out:
+            artifact = {
+                "run_id": run_id,
+                "workers": args.workers,
+                "trials": args.trials,
+                "tolerance": args.tol,
+                "cache_hit_rates": list(trace_grid.cache_hit_rates),
+                "cad_speedups": list(trace_grid.cad_speedups),
+                "cells": [
+                    {
+                        "hit_pct": c.hit_pct,
+                        "speedup_pct": c.speedup_pct,
+                        "trace_seconds": (
+                            c.trace_seconds
+                            if math.isfinite(c.trace_seconds)
+                            else None
+                        ),
+                        "analytic_seconds": (
+                            c.analytic_seconds
+                            if math.isfinite(c.analytic_seconds)
+                            else None
+                        ),
+                        "passed": c.passed,
+                    }
+                    for c in check.cells
+                ],
+            }
+            with open(args.out, "w", encoding="utf-8") as fh:
+                json.dump(artifact, fh, indent=2)
+                fh.write("\n")
+            print(f"\nwrote what-if grid: {args.out}")
+        if not check.ok:
+            for cell in check.flagged:
+                print(
+                    f"DIVERGED {cell.key}: trace {cell.trace_seconds:g} vs "
+                    f"analytic {cell.analytic_seconds:g}",
+                    file=sys.stderr,
+                )
+            status = 1
+
+    if not args.no_save:
+        path = ledger.attach_block(run_id, "whatif", block)
+        print(f"\nattached whatif block to {path}")
+    return status
+
+
 def _cmd_runs(args: argparse.Namespace) -> int:
     from repro.obs.ledger import RunLedger, render_manifest, render_run_list
 
     ledger = RunLedger(args.ledger_dir)
+    if args.runs_command == "gc":
+        from repro.obs.ledger import prune_runs
+
+        try:
+            removed = prune_runs(ledger, args.keep)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if removed:
+            print(
+                f"removed {len(removed)} run(s): {', '.join(removed)}"
+            )
+        else:
+            print(
+                f"nothing to remove ({len(ledger.run_ids())} run(s) "
+                f"recorded, keeping {args.keep})"
+            )
+        return 0
     if args.runs_command == "list":
         run_ids = ledger.run_ids()
         if not run_ids:
@@ -730,8 +1017,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_runs_diff.add_argument(
         "--all", action="store_true", help="show unchanged cells too"
     )
+    p_runs_gc = runs_sub.add_parser(
+        "gc", help="delete the oldest recorded runs beyond --keep N"
+    )
+    p_runs_gc.add_argument(
+        "--keep",
+        type=int,
+        required=True,
+        metavar="N",
+        help="number of newest runs to keep (a currently open run is "
+        "never removed)",
+    )
+    p_runs_gc.add_argument("--ledger", **ledger_dir_kwargs)
     p_runs.set_defaults(fn=_cmd_runs, trace=None, metrics=False, log=None)
-    for p in (p_runs_list, p_runs_show, p_runs_diff):
+    for p in (p_runs_list, p_runs_show, p_runs_diff, p_runs_gc):
         p.set_defaults(fn=_cmd_runs, trace=None, metrics=False, log=None)
 
     p_regress = sub.add_parser(
@@ -768,6 +1067,97 @@ def build_parser() -> argparse.ArgumentParser:
         "--all", action="store_true", help="show unchanged cells too"
     )
     p_regress.set_defaults(fn=_cmd_regress, trace=None, metrics=False, log=None)
+
+    p_critpath = sub.add_parser(
+        "critpath",
+        help="critical path and per-stage slack of a recorded run's "
+        "specialization DAG",
+    )
+    p_critpath.add_argument(
+        "run",
+        nargs="?",
+        default="latest",
+        help="run spec: id, unique prefix, 'latest', or 'latest~N' "
+        "(default: latest)",
+    )
+    p_critpath.add_argument("--ledger", **ledger_dir_kwargs)
+    p_critpath.add_argument(
+        "--no-save",
+        action="store_true",
+        help="do not attach the critpath block to the run's manifest",
+    )
+    p_critpath.set_defaults(
+        fn=_cmd_critpath, trace=None, metrics=False, log=None
+    )
+
+    p_whatif = sub.add_parser(
+        "whatif",
+        help="replay a recorded run under hypothetical cache/CAD/worker knobs",
+    )
+    p_whatif.add_argument(
+        "run",
+        nargs="?",
+        default="latest",
+        help="run spec: id, unique prefix, 'latest', or 'latest~N' "
+        "(default: latest)",
+    )
+    p_whatif.add_argument("--ledger", **ledger_dir_kwargs)
+    p_whatif.add_argument(
+        "--cache-hit",
+        type=float,
+        default=0.0,
+        metavar="PCT",
+        help="bitstream-cache hit rate in percent (default: 0)",
+    )
+    p_whatif.add_argument(
+        "--cad-speedup",
+        action="append",
+        default=[],
+        metavar="PCT|STAGE=PCT",
+        help="CAD speedup in percent: a bare number speeds up the whole "
+        "chain, STAGE=PCT (e.g. bitgen=50) only one stage; repeatable",
+    )
+    p_whatif.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="parallel CAD workers list-scheduling the candidate chains "
+        "(default: 1)",
+    )
+    p_whatif.add_argument(
+        "--trials",
+        type=int,
+        default=16,
+        metavar="N",
+        help="cache-population trials, as in the analytic Table IV "
+        "(default: 16)",
+    )
+    p_whatif.add_argument(
+        "--grid",
+        action="store_true",
+        help="regenerate the full Table IV grid from the trace and "
+        "cross-check it against the analytic model (exit 1 on divergence)",
+    )
+    p_whatif.add_argument(
+        "--tol",
+        type=float,
+        default=0.05,
+        metavar="REL",
+        help="relative tolerance for the grid cross-check (default: 0.05)",
+    )
+    p_whatif.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="write the cross-checked grid as a JSON artifact (with --grid)",
+    )
+    p_whatif.add_argument(
+        "--no-save",
+        action="store_true",
+        help="do not attach the whatif block to the run's manifest",
+    )
+    p_whatif.set_defaults(fn=_cmd_whatif, trace=None, metrics=False, log=None)
 
     p_cache = sub.add_parser(
         "cache", help="inspect or clear the persistent bitstream cache"

@@ -28,7 +28,15 @@ evidence on demand:
   ``.repro-runs/``;
 - :mod:`repro.obs.regress` — regression sentinel comparing two ledger
   manifests cell-by-cell under configurable tolerances and repeat-run
-  noise bands.
+  noise bands;
+- :mod:`repro.obs.critpath` — critical-path analyzer reconstructing the
+  specialization DAG from a recorded span trace (CPM on both clocks,
+  per-stage slack, Amdahl-style break-even headroom table);
+- :mod:`repro.obs.whatif` — trace-driven what-if engine replaying a
+  recorded run under hypothetical knobs (cache hit rate, CAD speedups,
+  parallel CAD workers) and cross-checking its Table IV-style grid
+  against the analytic model (lazy import: pulls the experiments layer
+  when deriving break-even inputs).
 
 Enable both at once with :func:`enable` (the CLI's ``--trace`` /
 ``--metrics`` flags call this).
@@ -95,6 +103,7 @@ from repro.obs.ledger import (
     current_run,
     finish_run,
     fold_stages,
+    prune_runs,
     scalars_from_analyses,
     start_run,
 )
@@ -122,6 +131,27 @@ _LAZY_EXPORTS = {
     "default_report_path": "repro.obs.fidelity",
     "fidelity_from_analyses": "repro.obs.fidelity",
     "run_fidelity": "repro.obs.fidelity",
+    "AppReplay": "repro.obs.critpath",
+    "CandidateReplay": "repro.obs.critpath",
+    "CriticalPathAnalysis": "repro.obs.critpath",
+    "HeadroomTable": "repro.obs.critpath",
+    "RunReplay": "repro.obs.critpath",
+    "analyze_critical_path": "repro.obs.critpath",
+    "critpath_block": "repro.obs.critpath",
+    "headroom_table": "repro.obs.critpath",
+    "render_critical_path": "repro.obs.critpath",
+    "table3_summary": "repro.obs.critpath",
+    "GridCheck": "repro.obs.whatif",
+    "GridCheckCell": "repro.obs.whatif",
+    "WhatIfKnobs": "repro.obs.whatif",
+    "WhatIfResult": "repro.obs.whatif",
+    "analytic_grid": "repro.obs.whatif",
+    "breakeven_inputs": "repro.obs.whatif",
+    "check_grids": "repro.obs.whatif",
+    "grid_block": "repro.obs.whatif",
+    "scenario_block": "repro.obs.whatif",
+    "whatif_break_even": "repro.obs.whatif",
+    "whatif_grid": "repro.obs.whatif",
 }
 
 
@@ -148,9 +178,31 @@ def disable() -> None:
 
 
 __all__ = [
+    "AppReplay",
     "BlockHeat",
+    "CandidateReplay",
     "CellCheck",
     "CellDelta",
+    "CriticalPathAnalysis",
+    "GridCheck",
+    "GridCheckCell",
+    "HeadroomTable",
+    "RunReplay",
+    "WhatIfKnobs",
+    "WhatIfResult",
+    "analytic_grid",
+    "analyze_critical_path",
+    "breakeven_inputs",
+    "check_grids",
+    "critpath_block",
+    "grid_block",
+    "headroom_table",
+    "prune_runs",
+    "render_critical_path",
+    "scenario_block",
+    "table3_summary",
+    "whatif_break_even",
+    "whatif_grid",
     "Counter",
     "DEFAULT_LEDGER_DIR",
     "EventLog",

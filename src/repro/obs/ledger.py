@@ -30,6 +30,7 @@ import math
 import os
 import platform
 import re
+import shutil
 import subprocess
 import sys
 import time
@@ -236,6 +237,62 @@ class RunLedger:
             )
         raise LookupError(f"unknown run {spec!r} in ledger {self.path}")
 
+    # -- post-hoc enrichment -------------------------------------------------
+    def attach_block(
+        self, run_id: str, name: str, payload: dict, merge: bool = True
+    ) -> Path:
+        """Add (or merge into) a named block of a finished run's manifest.
+
+        Post-hoc analyses over a recorded run (``repro critpath``,
+        ``repro whatif``) persist their outputs here so the regression
+        sentinel can gate them like any other manifest cell. The rewrite
+        is atomic (temp file + :func:`os.replace`); with *merge*, an
+        existing dict block keeps keys the new payload doesn't set (e.g.
+        a what-if scenario recorded after a what-if grid).
+        """
+        manifest = self.load(run_id)
+        existing = manifest.get(name)
+        if merge and isinstance(existing, dict) and isinstance(payload, dict):
+            merged = dict(existing)
+            merged.update(payload)
+            payload = merged
+        manifest[name] = _json_safe(payload)
+        manifest_path = self.run_dir(run_id) / "manifest.json"
+        tmp = manifest_path.with_suffix(".json.tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(manifest, fh, indent=2)
+            fh.write("\n")
+        os.replace(tmp, manifest_path)
+        return manifest_path
+
+    # -- garbage collection --------------------------------------------------
+    def prune(self, keep: int) -> list[str]:
+        """Delete the oldest finished runs beyond the *keep* newest.
+
+        A run that is currently being recorded is never removed: unfinished
+        run directories have no manifest (so they are not enumerated), and
+        the process-global :func:`current_run` recorder's directory is
+        skipped explicitly as well. Returns the removed run ids.
+        """
+        if keep < 0:
+            raise ValueError("--keep must be >= 0")
+        ids = self.run_ids()
+        excess = ids[: max(0, len(ids) - keep)]
+        active = current_run()
+        active_dir = (
+            active.run_dir.resolve()
+            if active is not None and active.run_dir.exists()
+            else None
+        )
+        removed: list[str] = []
+        for run_id in excess:
+            run_dir = self.run_dir(run_id)
+            if active_dir is not None and run_dir.resolve() == active_dir:
+                continue  # refuse to delete the run being recorded
+            shutil.rmtree(run_dir)
+            removed.append(run_id)
+        return removed
+
     # -- recording -----------------------------------------------------------
     def reserve_run(self, command: str) -> str:
         """Allocate and create the next run directory; returns its id."""
@@ -415,6 +472,13 @@ def abandon_run() -> None:
     _current_run = None
 
 
+def prune_runs(ledger: RunLedger | str | os.PathLike, keep: int) -> list[str]:
+    """Delete the oldest ledger runs beyond *keep*; see :meth:`RunLedger.prune`."""
+    if not isinstance(ledger, RunLedger):
+        ledger = RunLedger(ledger)
+    return ledger.prune(keep)
+
+
 # -- ASCII renderings ----------------------------------------------------------
 def render_run_list(manifests: list[dict]) -> str:
     """One-line-per-run table for ``repro runs list``."""
@@ -512,6 +576,22 @@ def render_manifest(manifest: dict) -> str:
             f"fidelity:  {'ok' if fidelity.get('ok') else 'FAILING'} "
             f"({fidelity.get('checked', 0)} checked, "
             f"{fidelity.get('failed', 0)} failed)",
+        ]
+    critpath = manifest.get("critpath")
+    if critpath:
+        virt = critpath.get("virtual") or {}
+        lines += [
+            "",
+            f"critpath:  dominant {virt.get('dominant_stage') or '-'} "
+            f"(virtual makespan {virt.get('makespan') or 0.0:.2f} s, "
+            f"serial {virt.get('serial_seconds') or 0.0:.2f} s)",
+        ]
+    whatif_check = (manifest.get("whatif") or {}).get("check")
+    if whatif_check:
+        flagged = whatif_check.get("flagged", 0)
+        lines += [
+            f"whatif:    grid {'ok' if not flagged else 'DIVERGED'} "
+            f"({whatif_check.get('checked', 0)} cells, {flagged} flagged)",
         ]
     artifacts = manifest.get("artifacts") or {}
     if artifacts:

@@ -15,6 +15,14 @@ and total time on both of the pipeline's clocks:
 Outputs: Brendan-Gregg collapsed-stack lines (``a;b;c 1234``, value in
 microseconds of *self* time — feed to ``flamegraph.pl`` or speedscope), a
 top-N hot-path table, and an indented tree rendering.
+
+Spans absorbed from parallel workers (``repro analyze --jobs N``) can
+overlap on the real clock: concurrent siblings then sum to more than
+their parent's duration, which would make the parent's self time
+negative. Such self time is clamped to zero and the node is flagged
+``overlap``, rendered as a ``!`` marker in :meth:`Profile.render` and
+:meth:`Profile.hot_table` — the real-clock self times of flagged paths
+are not additive wall time.
 """
 
 from __future__ import annotations
@@ -39,6 +47,10 @@ class ProfileNode:
     self_real: float = 0.0
     total_virtual: float = 0.0
     self_virtual: float = 0.0
+    #: True when concurrent children (absorbed from parallel workers)
+    #: summed to more than this node's real duration; real self time was
+    #: clamped to zero instead of going negative.
+    overlap: bool = False
     children: dict[str, "ProfileNode"] = field(default_factory=dict)
 
     def child(self, name: str) -> "ProfileNode":
@@ -112,12 +124,15 @@ class Profile:
             title=f"Hot paths ({clock} time)",
         )
         shown = 0.0
+        overlap_shown = False
         for node in ranked[: max(0, top)]:
             self_t = node.self_time(clock)
             shown += self_t
+            marker = " !" if node.overlap and clock == "real" else ""
+            overlap_shown = overlap_shown or bool(marker)
             table.add_row(
                 [
-                    ";".join(node.path),
+                    ";".join(node.path) + marker,
                     node.count,
                     _fmt_seconds(self_t),
                     _fmt_seconds(node.total(clock)),
@@ -133,6 +148,10 @@ class Profile:
                 f"{100.0 * shown / grand_self:.1f}",
             ]
         )
+        if overlap_shown:
+            table.add_footer(
+                ["! = overlapping children; self clamped", "", "", "", ""]
+            )
         return table
 
     def render(self, clock: str = "real") -> str:
@@ -142,10 +161,11 @@ class Profile:
 
         def emit(node: ProfileNode, depth: int) -> None:
             label = ("  " * depth + node.name).ljust(40)
+            marker = "  !overlap" if node.overlap and clock == "real" else ""
             lines.append(
                 f"{label} x{node.count:<6d} "
                 f"total {_fmt_seconds(node.total(clock)):>10s}  "
-                f"self {_fmt_seconds(node.self_time(clock)):>10s}"
+                f"self {_fmt_seconds(node.self_time(clock)):>10s}{marker}"
             )
             for child in sorted(
                 node.children.values(), key=lambda c: -c.total(clock)
@@ -198,6 +218,8 @@ def build_profile(records: Sequence[SpanRecord]) -> Profile:
         child_virtual = sum(virtual_total[c.span_id] for c in kids)
         node.count += 1
         node.total_real += rec.duration
+        if child_real > rec.duration + 1e-9:
+            node.overlap = True  # concurrent siblings from parallel workers
         node.self_real += max(0.0, rec.duration - child_real)
         node.total_virtual += virtual_total[rec.span_id]
         node.self_virtual += max(0.0, virtual_total[rec.span_id] - child_virtual)

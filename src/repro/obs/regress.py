@@ -53,6 +53,16 @@ DEFAULT_TOLERANCES: tuple[tuple[str, float | None], ...] = (
     # variation, not a result drift.
     ("cache.*", None),
     ("metrics.counters.cache.*", None),
+    # Post-hoc trace analyses (repro critpath / repro whatif): real-clock
+    # cells are measured wall time, so informational; virtual-clock cells
+    # are deterministic modelled times, gated with the same slack as the
+    # break-even cells (they fold the measured search milliseconds into a
+    # minutes-scale total). The search stage itself stays informational on
+    # both clocks via the "*search*" pattern above.
+    ("critpath.real.*", None),
+    ("critpath.*", 1e-4),
+    ("whatif.check.*", None),
+    ("whatif.*", 1e-4),
     ("*", 1e-9),
 )
 
@@ -151,6 +161,35 @@ def flatten_cells(manifest: dict) -> dict[str, float]:
     metrics = manifest.get("metrics") or {}
     for name, value in (metrics.get("counters") or {}).items():
         put(f"metrics.counters.{name}", value)
+
+    critpath = manifest.get("critpath") or {}
+    for clock in ("virtual", "real"):
+        blk = critpath.get(clock) or {}
+        put(f"critpath.{clock}.makespan", blk.get("makespan"))
+        put(f"critpath.{clock}.serial_seconds", blk.get("serial_seconds"))
+        put(f"critpath.{clock}.dominant_share", blk.get("dominant_share"))
+        for stage, st in (blk.get("stages") or {}).items():
+            put(f"critpath.{clock}.stages.{stage}.total", st.get("total"))
+            put(f"critpath.{clock}.stages.{stage}.slack_min", st.get("slack_min"))
+            put(f"critpath.{clock}.stages.{stage}.on_path", st.get("on_path"))
+    headroom = critpath.get("headroom") or {}
+    put("critpath.headroom.baseline_break_even", headroom.get("baseline_break_even"))
+    for stage, row in (headroom.get("stages") or {}).items():
+        put(f"critpath.headroom.{stage}.total", row.get("total"))
+        for label, value in (row.get("break_even") or {}).items():
+            put(f"critpath.headroom.{stage}.break_even.{label}", value)
+
+    whatif = manifest.get("whatif") or {}
+    for key, value in ((whatif.get("grid") or {}).get("cells") or {}).items():
+        put(f"whatif.grid.{key}", value)
+    check = whatif.get("check") or {}
+    put("whatif.check.checked", check.get("checked"))
+    put("whatif.check.flagged", check.get("flagged"))
+    scenario = whatif.get("scenario") or {}
+    put("whatif.scenario.break_even_mean", scenario.get("break_even_mean"))
+    for app, row in (scenario.get("apps") or {}).items():
+        put(f"whatif.scenario.{app}.break_even", row.get("break_even"))
+        put(f"whatif.scenario.{app}.overhead", row.get("overhead"))
     return cells
 
 
@@ -313,6 +352,16 @@ def compare_manifests(
         # User tolerances still win (they come first); the demotions
         # outrank only the defaults.
         resolved += list(CACHE_DEMOTED_TOLERANCES)
+    # critpath / whatif blocks are attached post hoc (repro critpath /
+    # repro whatif): a run analyzed only on one side is a workflow
+    # difference, not a result drift, so demote the whole block instead of
+    # failing on appeared/disappeared cells.
+    onesided_blocks = [
+        block
+        for block in ("critpath", "whatif")
+        if bool(baseline.get(block)) != bool(current.get(block))
+    ]
+    resolved += [(f"{block}.*", None) for block in onesided_blocks]
     resolved += list(DEFAULT_TOLERANCES)
     base_cells = flatten_cells(baseline)
     cur_cells = flatten_cells(current)
@@ -345,6 +394,11 @@ def compare_manifests(
                 f"config.{key}: baseline {base_config.get(key)!r} != "
                 f"current {cur_config.get(key)!r}"
             )
+    for block in onesided_blocks:
+        report.config_mismatches.append(
+            f"{block} block recorded in only one of the runs; "
+            f"{block}.* cells demoted to informational"
+        )
     if cache_differs:
         report.config_mismatches.append(
             "bitstream-cache usage differs between runs: "

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import io
+import json
 import threading
 import time
 
@@ -321,6 +322,63 @@ class TestExport:
         names = {e["name"] for e in doc["traceEvents"]}
         assert "Map" in names  # paper label substituted for cad.map
         assert all(e["dur"] >= 0 for e in doc["traceEvents"])
+
+    def test_chrome_trace_counter_events(self):
+        t = self._sample_tracer()
+        buf = io.StringIO()
+        obs.write_jsonl(t.spans(), buf, epoch=t.epoch)
+        records = obs.read_jsonl(io.StringIO(buf.getvalue()))
+        snapshot = {
+            "counters": {"cache.hits": 3, "cache.misses": 7},
+            "gauges": {"slots.used": 2.0},
+            "histograms": {"ignored": {"count": 1}},
+        }
+        doc = obs.chrome_trace(records, snapshot=snapshot)
+        counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        assert {e["cat"] for e in counters} == {"metrics"}
+        extent = max(r.t1 for r in records) * 1e6
+        by_name: dict[str, list] = {}
+        for e in counters:
+            by_name.setdefault(e["name"], []).append(e)
+        # Counters are monotonic-from-zero: a zero sample at the start
+        # and the final value at the trace extent.
+        hits = sorted(by_name["cache.hits"], key=lambda e: e["ts"])
+        assert [(e["ts"], e["args"]["value"]) for e in hits] == [
+            (0.0, 0),
+            (extent, 3),
+        ]
+        # Gauges only get their final sample.
+        assert [(e["ts"], e["args"]["value"]) for e in by_name["slots.used"]] == [
+            (extent, 2.0)
+        ]
+        assert "ignored" not in by_name
+
+    def test_chrome_trace_counter_events_skip_non_numeric(self):
+        records = [obs.SpanRecord("x", 1, None, 0.0, 1.0)]
+        doc = obs.chrome_trace(
+            records, snapshot={"counters": {"bad": "oops"}, "gauges": {}}
+        )
+        assert all(e["ph"] != "C" for e in doc["traceEvents"])
+
+    def test_chrome_trace_without_snapshot_has_no_counters(self):
+        t = self._sample_tracer()
+        buf = io.StringIO()
+        obs.write_jsonl(t.spans(), buf, epoch=t.epoch)
+        records = obs.read_jsonl(io.StringIO(buf.getvalue()))
+        doc = obs.chrome_trace(records, snapshot=None)
+        assert {e["ph"] for e in doc["traceEvents"]} == {"X"}
+
+    def test_write_chrome_trace_embeds_snapshot(self, tmp_path):
+        t = self._sample_tracer()
+        buf = io.StringIO()
+        obs.write_jsonl(t.spans(), buf, epoch=t.epoch)
+        records = obs.read_jsonl(io.StringIO(buf.getvalue()))
+        path = tmp_path / "trace.json"
+        obs.write_chrome_trace(
+            records, path, snapshot={"counters": {"icap.reconfigurations": 3}}
+        )
+        doc = json.loads(path.read_text())
+        assert any(e["ph"] == "C" for e in doc["traceEvents"])
 
     def test_stage_table_and_timeline_render(self):
         t = self._sample_tracer()

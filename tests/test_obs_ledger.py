@@ -161,6 +161,58 @@ class TestRunLedger:
         assert "cad.par" in shown and "PAR" in shown
         assert "sor" in shown and "2.35" in shown
 
+    def test_attach_block_merges_and_persists(self, tmp_path):
+        ledger = RunLedger(tmp_path)
+        run_id = ledger.reserve_run("analyze")
+        with open(ledger.run_dir(run_id) / "manifest.json", "w") as fh:
+            json.dump(_manifest(run_id), fh)
+        ledger.attach_block(run_id, "whatif", {"grid": {"cells": {"h0.s0": 1.0}}})
+        ledger.attach_block(run_id, "whatif", {"scenario": {"break_even_mean": 2.0}})
+        manifest = ledger.load(run_id)
+        # Merge keeps the grid recorded before the scenario.
+        assert manifest["whatif"]["grid"]["cells"]["h0.s0"] == 1.0
+        assert manifest["whatif"]["scenario"]["break_even_mean"] == 2.0
+        assert not list(tmp_path.glob("**/*.tmp"))
+
+    def _finished_runs(self, ledger, count):
+        ids = []
+        for _ in range(count):
+            run_id = ledger.reserve_run("analyze")
+            with open(ledger.run_dir(run_id) / "manifest.json", "w") as fh:
+                json.dump(_manifest(run_id), fh)
+            ids.append(run_id)
+        return ids
+
+    def test_prune_keeps_newest_runs(self, tmp_path):
+        ledger = RunLedger(tmp_path)
+        ids = self._finished_runs(ledger, 4)
+        assert obs.prune_runs(ledger, keep=2) == ids[:2]
+        assert ledger.run_ids() == ids[2:]
+        assert not (ledger.run_dir(ids[0])).exists()
+        # Pruning below the count is a no-op.
+        assert ledger.prune(keep=5) == []
+
+    def test_prune_accepts_a_path(self, tmp_path):
+        ledger = RunLedger(tmp_path)
+        ids = self._finished_runs(ledger, 2)
+        assert obs.prune_runs(tmp_path, keep=1) == ids[:1]
+
+    def test_prune_rejects_negative_keep(self, tmp_path):
+        with pytest.raises(ValueError, match="keep"):
+            RunLedger(tmp_path).prune(keep=-1)
+
+    def test_prune_refuses_the_active_run(self, tmp_path):
+        ledger = RunLedger(tmp_path)
+        recorder = obs.start_run(tmp_path, command="analyze")
+        try:
+            # Give the active run a manifest so it is enumerated at all.
+            with open(recorder.run_dir / "manifest.json", "w") as fh:
+                json.dump(_manifest(recorder.run_id), fh)
+            assert ledger.prune(keep=0) == []
+            assert recorder.run_dir.exists()
+        finally:
+            obs.abandon_run()
+
 
 class TestRegressionSentinel:
     def test_parse_tolerances(self):
@@ -227,6 +279,70 @@ class TestRegressionSentinel:
         current["config"] = {"app": "fft", "command": "analyze"}
         report = compare_manifests(_manifest(), current)
         assert any("config.app" in w for w in report.config_mismatches)
+
+    def _critpath_block(self, makespan=76.0):
+        return {
+            "virtual": {
+                "makespan": makespan,
+                "serial_seconds": 111.0,
+                "dominant_stage": "bitgen",
+                "dominant_share": 0.53,
+                "stages": {"bitgen": {"total": 60.0, "nodes": 2,
+                                      "slack_min": 0.0, "on_path": 1}},
+            },
+            "real": {"makespan": 1.0, "serial_seconds": 2.0,
+                     "dominant_stage": "search", "stages": {}},
+        }
+
+    def test_critpath_cells_flatten_and_gate(self):
+        baseline = _manifest(critpath=self._critpath_block())
+        cells = flatten_cells(baseline)
+        assert cells["critpath.virtual.makespan"] == pytest.approx(76.0)
+        assert cells["critpath.virtual.stages.bitgen.total"] == 60.0
+        current = _manifest(
+            run_id="r0002-test", critpath=self._critpath_block(makespan=80.0)
+        )
+        report = compare_manifests(baseline, current)
+        assert [d.cell for d in report.regressions] == [
+            "critpath.virtual.makespan"
+        ]
+        # Real-clock cells are informational: timing noise never gates.
+        current = _manifest(run_id="r0002-test", critpath=self._critpath_block())
+        current["critpath"]["real"]["makespan"] = 99.0
+        assert compare_manifests(baseline, current).ok
+
+    def test_onesided_critpath_block_is_demoted(self):
+        baseline = _manifest()
+        current = _manifest(
+            run_id="r0002-test", critpath=self._critpath_block()
+        )
+        report = compare_manifests(baseline, current)
+        assert report.ok  # appeared cells do not regress...
+        assert any(
+            "critpath block recorded in only one" in w
+            for w in report.config_mismatches
+        )  # ...but the workflow difference is called out.
+
+    def test_whatif_grid_cells_gate_and_check_is_informational(self):
+        block = {
+            "grid": {"workers": 1, "cache_hit_rates": [0], "cad_speedups": [0],
+                     "cells": {"h0.s0": 6389.0}},
+            "check": {"tolerance": 0.05, "checked": 1, "flagged": 0,
+                      "flagged_cells": []},
+        }
+        baseline = _manifest(whatif=block)
+        drifted = json.loads(json.dumps(block))
+        drifted["grid"]["cells"]["h0.s0"] = 7000.0
+        report = compare_manifests(
+            baseline, _manifest(run_id="r0002-test", whatif=drifted)
+        )
+        assert [d.cell for d in report.regressions] == ["whatif.grid.h0.s0"]
+        # check.* counters stay informational (tooling detail, not result).
+        counted = json.loads(json.dumps(block))
+        counted["check"]["flagged"] = 1
+        assert compare_manifests(
+            baseline, _manifest(run_id="r0002-test", whatif=counted)
+        ).ok
 
     def test_repeat_history_widens_allowance(self):
         baseline = _manifest()
@@ -407,6 +523,24 @@ class TestCliEndToEnd:
 
         assert main(["runs", "list", "--ledger", str(tmp_path / "none")]) == 0
         assert "no runs recorded" in capsys.readouterr().out
+
+    def test_runs_gc_keeps_newest(self, tmp_path, capsys):
+        from repro.cli import main
+
+        ledger = RunLedger(tmp_path)
+        ids = []
+        for _ in range(3):
+            run_id = ledger.reserve_run("analyze")
+            with open(ledger.run_dir(run_id) / "manifest.json", "w") as fh:
+                json.dump(_manifest(run_id), fh)
+            ids.append(run_id)
+        assert main(["runs", "gc", "--keep", "1", "--ledger", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "removed 2 run(s)" in out
+        assert ledger.run_ids() == ids[-1:]
+        assert main(["runs", "gc", "--keep", "1", "--ledger", str(tmp_path)]) == 0
+        assert "nothing to remove" in capsys.readouterr().out
+        assert main(["runs", "gc", "--keep", "-1", "--ledger", str(tmp_path)]) == 2
 
     def test_tail_renders_recorded_log(self, recorded_runs, capsys):
         from repro.cli import main

@@ -107,6 +107,39 @@ class TestProfileTree:
         assert profile.collapsed("real") == []
         assert profile.total("virtual") == 0.0
 
+    def _overlapping_records(self):
+        # Two concurrent children (parallel CAD workers) sum to 12 s of
+        # child time inside a 7 s parent: self-time clamps to zero and
+        # the node is flagged as overlapping.
+        return [
+            rec("pipeline", 1, None, 0.0, 8.0),
+            rec("cad.implement", 2, 1, 1.0, 8.0),
+            rec("cad.par", 3, 2, 1.0, 7.0, virtual_seconds=10.0),
+            rec("cad.par", 4, 2, 2.0, 8.0, virtual_seconds=10.0),
+        ]
+
+    def test_overlapping_siblings_flagged_and_clamped(self):
+        profile = build_profile(self._overlapping_records())
+        by_path = {n.path: n for n in profile.nodes()}
+        impl = by_path[("pipeline", "cad.implement")]
+        assert impl.overlap
+        assert impl.self_real == pytest.approx(0.0)
+        # Sequential children never trip the flag.
+        seq = build_profile(_sample_records())
+        assert not any(n.overlap for n in seq.nodes())
+
+    def test_overlap_marker_in_renderings(self):
+        profile = build_profile(self._overlapping_records())
+        tree = profile.render(clock="real")
+        assert "!overlap" in tree
+        table = profile.hot_table(clock="real").render()
+        assert "cad.implement !" in table
+        assert "overlapping children" in table
+        # The marker (and legend) is a real-clock concept only.
+        virtual_table = profile.hot_table(clock="virtual").render()
+        assert "!" not in virtual_table
+        assert "!overlap" not in profile.render(clock="virtual")
+
 
 @pytest.fixture(scope="module")
 def sor_trace_records():
