@@ -4,7 +4,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 # Worker count for the parallel leg of `make regress` (1 = serial).
 JOBS ?= 1
 
-.PHONY: test trace-smoke fidelity tables regress docs-lint bench-parallel whatif-smoke
+.PHONY: test trace-smoke fidelity tables regress regress-serve docs-lint bench-parallel whatif-smoke serve-smoke bench-serve
 
 # Tier-1 verification: the full test suite.
 test:
@@ -54,3 +54,26 @@ docs-lint:
 # rewrites BENCH_parallel.json, the committed evidence.
 bench-parallel:
 	$(PYTHON) -m repro bench --domain embedded --out BENCH_parallel.json
+
+# Serve-plane smoke: start a real daemon subprocess, run a mixed-tenant
+# request burst, render `repro top`, assert the break-even p99 quantile is
+# populated, and check SIGINT drains gracefully (exit 0, run closed).
+serve-smoke:
+	$(PYTHON) scripts/serve_smoke.py
+
+# Serving benchmark: Poisson load (cold + warm phase over one schedule)
+# against an embedded daemon; rewrites BENCH_serve.json, the committed
+# evidence that the warm p95 break-even sits strictly below cold (exit 1
+# otherwise).
+bench-serve:
+	$(PYTHON) -m repro loadgen --requests 200 --out BENCH_serve.json
+
+# Serve regression leg: record two identical load-generation runs in the
+# ledger, then gate the second against the first — the deterministic
+# request counts must match exactly while the measured latency quantiles
+# stay informational (`serve.*` tolerances in repro.obs.regress).
+regress-serve:
+	$(PYTHON) -m repro loadgen --requests 60 --rate 100 --out /dev/null --ledger
+	$(PYTHON) -m repro loadgen --requests 60 --rate 100 --out /dev/null --ledger
+	$(PYTHON) -m repro runs list --limit 5
+	$(PYTHON) -m repro regress --baseline latest~1

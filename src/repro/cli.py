@@ -30,6 +30,13 @@ Commands:
   (``.repro-cache/``, Section VI-A);
 - ``bench`` — measure the parallel runner and the persistent cache against
   the serial cold baseline, writing ``BENCH_parallel.json``;
+- ``serve`` — run the specialization daemon (:mod:`repro.serve`): a
+  bounded admission queue and worker pool over the shared multi-tenant
+  bitstream store, with request-level SLO telemetry;
+- ``loadgen`` — drive a live or embedded daemon with a deterministic
+  Poisson request mix (cold + warm phases) and write ``BENCH_serve.json``;
+- ``top`` — live ASCII view of a running daemon's queue/latency/tenant
+  statistics;
 - ``tail <file>`` — render the last records of a JSONL event log.
 
 Every command accepts ``--trace FILE`` (export a JSONL span trace of the
@@ -661,9 +668,19 @@ def _cmd_runs(args: argparse.Namespace) -> int:
         if not run_ids:
             print(f"(no runs recorded in {ledger.path})")
             return 0
-        if args.last and args.last > 0:
-            run_ids = run_ids[-args.last :]
+        total = len(run_ids)
+        # --last predates --limit and wins when given; either way only
+        # the shown runs' manifests are loaded (a serve ledger can hold
+        # thousands of runs — listing must not parse them all).
+        limit = args.last if args.last and args.last > 0 else args.limit
+        if limit and limit > 0:
+            run_ids = run_ids[-limit:]
         print(render_run_list([ledger.load(run_id) for run_id in run_ids]))
+        if len(run_ids) < total:
+            print(
+                f"({total - len(run_ids)} older run(s) not shown; "
+                f"use --limit 0 to list all {total})"
+            )
         return 0
     if args.runs_command == "show":
         try:
@@ -770,6 +787,133 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.out:
         print(f"\nwrote benchmark report: {args.out}")
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro import obs
+    from repro.obs.ledger import current_run
+    from repro.serve.server import ServerConfig, SpecializationServer
+
+    recorder = current_run()
+    tracer = obs.get_tracer()
+    if tracer.enabled and args.max_spans > 0:
+        # A daemon runs indefinitely: bound the in-memory span buffer.
+        # Under --ledger the overflow flushes incrementally to the run's
+        # trace.jsonl (finalize folds stages from the file); without a
+        # sink the buffer is a ring and the oldest spans are dropped.
+        flush_path = (
+            recorder.run_dir / "trace.jsonl" if recorder is not None else None
+        )
+        tracer.configure_flush(flush_path, max_spans=args.max_spans)
+
+    server = SpecializationServer(
+        ServerConfig(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            queue_depth=args.queue_depth,
+            backend=args.serve_backend,
+            store_root=args.store,
+            tenant_budget=args.tenant_budget,
+        )
+    )
+    server.start()
+    # Parseable by scripts (serve_smoke) before any request lands.
+    print(f"serving on {server.config.host}:{server.port}", flush=True)
+
+    def _on_signal(signum, _frame):
+        server.request_shutdown(reason="signal")
+
+    previous = {}
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        previous[sig] = signal.signal(sig, _on_signal)
+    try:
+        status = server.serve_forever()
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+    counts = server.requests
+    print(
+        f"serve shutdown ({status}): {counts['completed']} completed, "
+        f"{counts['rejected']} rejected, {counts['failed']} failed; "
+        f"dedup saved {server.store.dedup_saved} CAD run(s)",
+        flush=True,
+    )
+    return 0
+
+
+def _parse_app_mix(spec: str | None):
+    """Parse a ``--mix app=weight,app=weight`` spec (None = default mix)."""
+    if not spec:
+        return None
+    mix = []
+    for part in spec.split(","):
+        name, sep, weight = part.partition("=")
+        name = name.strip()
+        if not name:
+            raise ValueError(f"empty app name in mix spec {spec!r}")
+        mix.append((name, float(weight) if sep else 1.0))
+    return tuple(mix)
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.serve.loadgen import (
+        LoadGenConfig,
+        render_loadgen,
+        run_loadgen,
+    )
+
+    try:
+        mix = _parse_app_mix(args.mix)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    kwargs = dict(
+        requests=args.requests,
+        clients=args.clients,
+        tenants=args.tenants,
+        rate=args.rate,
+        seed=args.seed,
+        concurrency=args.concurrency,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        tenant_budget=args.tenant_budget,
+        time_share_pct=args.time_share,
+        max_blocks=args.max_blocks,
+    )
+    if mix is not None:
+        kwargs["mix"] = mix
+    report = run_loadgen(
+        LoadGenConfig(**kwargs), out=args.out, store_root=args.store
+    )
+    print(render_loadgen(report))
+    if args.out:
+        print(f"\nwrote serve benchmark report: {args.out}")
+    if not report["warm_p95_lower"]:
+        print(
+            "FAIL: warm-phase p95 break-even is not strictly below cold "
+            "(the cache is not paying for itself)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.serve.top import run_top
+
+    try:
+        return run_top(
+            args.host,
+            args.port,
+            interval=args.interval,
+            once=args.once,
+            show_metrics=args.show_metrics,
+        )
+    except KeyboardInterrupt:
+        return 0
 
 
 def _cmd_tail(args: argparse.Namespace) -> int:
@@ -1003,6 +1147,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_runs_list.add_argument(
         "--last", type=int, default=0, help="show only the last N runs"
     )
+    p_runs_list.add_argument(
+        "--limit",
+        type=int,
+        default=50,
+        metavar="N",
+        help="load and show at most the newest N runs (0 = all; "
+        "default: 50)",
+    )
     p_runs_show = runs_sub.add_parser("show", help="show one run's manifest")
     p_runs_show.add_argument(
         "run", help="run id, unique prefix, 'latest', or 'latest~N'"
@@ -1217,6 +1369,201 @@ def build_parser() -> argparse.ArgumentParser:
         "directory, removed afterwards)",
     )
     p_bench.set_defaults(fn=_cmd_bench, trace=None, metrics=False, log=None)
+
+    p_serve = sub.add_parser(
+        "serve",
+        parents=[obs_options],
+        help="run the specialization daemon (bounded queue + worker pool "
+        "over the shared multi-tenant bitstream store)",
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="bind port (default: 0 = ephemeral; the bound port is printed)",
+    )
+    p_serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="worker pool size (default: 2)",
+    )
+    p_serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=32,
+        metavar="N",
+        help="admission queue depth; a full queue rejects with "
+        "retry_after_ms (default: 32)",
+    )
+    p_serve.add_argument(
+        "--backend",
+        dest="serve_backend",
+        choices=["thread", "process"],
+        default="thread",
+        help="worker flavour (default: thread; thread keeps candidate-level "
+        "single-flight dedup in-process)",
+    )
+    p_serve.add_argument(
+        "--store",
+        metavar="DIR",
+        default=".repro-store",
+        help="shared multi-tenant bitstream store root "
+        "(default: .repro-store)",
+    )
+    p_serve.add_argument(
+        "--tenant-budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-tenant cache eviction budget in entries (default: "
+        "unbounded)",
+    )
+    p_serve.add_argument(
+        "--max-spans",
+        type=int,
+        default=20000,
+        metavar="N",
+        help="bound the tracer's in-memory span buffer; overflow flushes "
+        "to the ledger run's trace.jsonl (default: 20000; 0 = unbounded)",
+    )
+    p_serve.set_defaults(fn=_cmd_serve)
+
+    p_loadgen = sub.add_parser(
+        "loadgen",
+        parents=[obs_options],
+        help="drive an embedded daemon with a deterministic Poisson mix "
+        "(cold + warm) and write BENCH_serve.json",
+    )
+    p_loadgen.add_argument(
+        "--requests",
+        type=int,
+        default=200,
+        metavar="N",
+        help="requests per phase (default: 200)",
+    )
+    p_loadgen.add_argument(
+        "--clients",
+        type=int,
+        default=1000,
+        metavar="N",
+        help="simulated client population (default: 1000)",
+    )
+    p_loadgen.add_argument(
+        "--tenants",
+        type=int,
+        default=4,
+        metavar="N",
+        help="tenant namespaces the clients map onto (default: 4)",
+    )
+    p_loadgen.add_argument(
+        "--rate",
+        type=float,
+        default=50.0,
+        metavar="RPS",
+        help="Poisson arrival rate in requests/second (default: 50)",
+    )
+    p_loadgen.add_argument(
+        "--seed", type=int, default=0, help="schedule seed (default: 0)"
+    )
+    p_loadgen.add_argument(
+        "--concurrency",
+        type=int,
+        default=12,
+        metavar="N",
+        help="client sender threads (default: 12)",
+    )
+    p_loadgen.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        metavar="N",
+        help="embedded server worker pool size (default: 4)",
+    )
+    p_loadgen.add_argument(
+        "--queue-depth",
+        type=int,
+        default=16,
+        metavar="N",
+        help="embedded server admission queue depth (default: 16)",
+    )
+    p_loadgen.add_argument(
+        "--tenant-budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-tenant cache eviction budget (default: unbounded)",
+    )
+    p_loadgen.add_argument(
+        "--time-share",
+        type=float,
+        default=50.0,
+        metavar="PCT",
+        help="pruning time-share threshold (default: 50 = @50pS3L)",
+    )
+    p_loadgen.add_argument(
+        "--max-blocks",
+        type=int,
+        default=3,
+        metavar="N",
+        help="pruning block limit (default: 3)",
+    )
+    p_loadgen.add_argument(
+        "--mix",
+        metavar="APP=W,APP=W",
+        default=None,
+        help="offered application mix with weights (default: the embedded "
+        "suite weighted by CAD work)",
+    )
+    p_loadgen.add_argument(
+        "--out",
+        metavar="FILE",
+        default="BENCH_serve.json",
+        help="report path (default: BENCH_serve.json)",
+    )
+    p_loadgen.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="store root for the phases (default: a temporary directory, "
+        "removed afterwards, so the cold phase is genuinely cold)",
+    )
+    p_loadgen.set_defaults(fn=_cmd_loadgen)
+
+    p_top = sub.add_parser(
+        "top", help="live ASCII view of a running specialization daemon"
+    )
+    p_top.add_argument(
+        "--host", default="127.0.0.1", help="daemon host (default: 127.0.0.1)"
+    )
+    p_top.add_argument(
+        "--port", type=int, required=True, help="daemon port (required)"
+    )
+    p_top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SEC",
+        help="refresh interval (default: 2.0)",
+    )
+    p_top.add_argument(
+        "--once",
+        action="store_true",
+        help="render a single page and exit (no screen clearing)",
+    )
+    p_top.add_argument(
+        "--metrics",
+        dest="show_metrics",
+        action="store_true",
+        help="append the daemon's full metrics snapshot, if instrumented",
+    )
+    p_top.set_defaults(
+        fn=_cmd_top, trace=None, metrics=False, log=None, ledger=None
+    )
 
     p_tail = sub.add_parser(
         "tail", help="render the last records of a JSONL event log"

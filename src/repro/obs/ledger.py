@@ -329,6 +329,7 @@ class RunRecorder:
     scalars: dict | None = None
     fidelity: dict | None = None
     cache: dict | None = None
+    serve: dict | None = None
     artifacts: dict = field(default_factory=dict)
 
     @property
@@ -346,6 +347,19 @@ class RunRecorder:
         cache differently (a warm run legitimately skips CAD work).
         """
         self.cache = dict(stats)
+
+    def attach_serve(self, summary: dict) -> None:
+        """Record a serve-plane summary (daemon or loadgen) for this run.
+
+        One server (or load-generation) run is one ledger run; the summary
+        holds the request counters, dedup savings, per-tenant cache stats
+        and latency quantiles that :func:`repro.obs.regress.flatten_cells`
+        exposes as ``serve.*`` cells. Per-request child records live in a
+        ``requests.jsonl`` artifact next to the manifest, not inline.
+        """
+        if self.serve is None:
+            self.serve = {}
+        self.serve.update(summary)
 
     def attach_fidelity(self, report) -> None:
         """Record a :class:`repro.obs.fidelity.FidelityReport`'s cells."""
@@ -375,11 +389,29 @@ class RunRecorder:
         """Fold the run's evidence into ``manifest.json``; returns its path."""
         stages: dict = {}
         if tracer is not None:
-            records = tracer_records(tracer)
-            stages = fold_stages(records)
-            if records:
-                export_tracer(tracer, self.run_dir / "trace.jsonl")
-                self.artifacts.setdefault("trace", "trace.jsonl")
+            if getattr(tracer, "flush_path", None) is not None:
+                # Long-running (daemon) tracer with an incremental JSONL
+                # sink: complete the flush and fold stages from the file —
+                # rewriting from memory would clobber the flushed prefix.
+                from repro.obs.export import read_jsonl
+
+                tracer.flush_all()
+                tracer.close_flush()
+                flush_path = Path(tracer.flush_path)
+                records = read_jsonl(flush_path) if flush_path.is_file() else []
+                stages = fold_stages(records)
+                if records:
+                    try:
+                        rel = flush_path.relative_to(self.run_dir)
+                        self.artifacts.setdefault("trace", str(rel))
+                    except ValueError:
+                        self.artifacts.setdefault("trace", str(flush_path))
+            else:
+                records = tracer_records(tracer)
+                stages = fold_stages(records)
+                if records:
+                    export_tracer(tracer, self.run_dir / "trace.jsonl")
+                    self.artifacts.setdefault("trace", "trace.jsonl")
         if log_path is not None:
             log_path = Path(log_path)
             if log_path.is_file():
@@ -404,6 +436,7 @@ class RunRecorder:
             "scalars": _json_safe(self.scalars),
             "fidelity": _json_safe(self.fidelity),
             "cache": _json_safe(self.cache),
+            "serve": _json_safe(self.serve),
             "artifacts": _json_safe(self.artifacts),
         }
         manifest_path = self.run_dir / "manifest.json"
@@ -577,6 +610,25 @@ def render_manifest(manifest: dict) -> str:
             f"({fidelity.get('checked', 0)} checked, "
             f"{fidelity.get('failed', 0)} failed)",
         ]
+    serve = manifest.get("serve")
+    if serve:
+        requests = serve.get("requests") or {}
+        latency = serve.get("latency") or {}
+        be = (latency.get("break_even") or {})
+        shutdown = serve.get("shutdown") or "-"
+        lines += [
+            "",
+            f"serve:     {requests.get('completed', 0)} completed / "
+            f"{requests.get('rejected', 0)} rejected / "
+            f"{requests.get('failed', 0)} failed, "
+            f"dedup saved {(serve.get('dedup') or {}).get('saved', 0)}, "
+            f"shutdown {shutdown}",
+        ]
+        if be.get("p95") is not None:
+            lines += [
+                f"           break-even p50/p95/p99 [s]: "
+                f"{be.get('p50'):.0f} / {be.get('p95'):.0f} / {be.get('p99'):.0f}"
+            ]
     critpath = manifest.get("critpath")
     if critpath:
         virt = critpath.get("virtual") or {}

@@ -42,6 +42,32 @@ DEFAULT_TOLERANCES: tuple[tuple[str, float | None], ...] = (
     ("*compile*", None),  # compilation is measured wall clock too
     ("*.real_seconds", None),
     ("wall_seconds", None),
+    # Serve-plane cells (repro serve / repro loadgen). Request *counts*
+    # (total / completed / failed) are deterministic for a fixed load
+    # schedule and stay on the exact catch-all below; everything measured
+    # under concurrency — latencies, queue depths, rejection/retry counts,
+    # dedup savings, per-tenant hit rates, throughput — depends on thread
+    # scheduling and is informational. These patterns must precede the
+    # global "*break_even*" entry: the serve latency quantiles are
+    # *measured distributions* of break-even times, not single modelled
+    # values.
+    ("serve.*latency*", None),
+    ("serve.*queue*", None),
+    ("serve.*rejected*", None),
+    # total = completed + failed + rejected, so it inherits the
+    # rejection count's scheduling noise under backpressure.
+    ("serve.*requests.total", None),
+    ("serve.*retries*", None),
+    ("serve.*accepted*", None),
+    ("serve.*dedup*", None),
+    ("serve.*tenants*", None),
+    ("serve.*throughput*", None),
+    ("serve.*uptime*", None),
+    ("serve.*wall*", None),
+    ("serve.*inflight*", None),
+    ("serve.*comparison*", None),
+    ("serve.*cad_implementations*", None),
+    ("metrics.counters.serve.*", None),
     # Break-even folds the measured search milliseconds into a
     # minutes-scale modelled overhead: deterministic to ~1e-6 relative,
     # so gate it loosely enough to absorb that jitter.
@@ -85,7 +111,21 @@ NOISE_BAND_MADS = 3.0
 #: configuration: a parallel or cache-warmed run must remain comparable
 #: against a serial baseline.
 _VOLATILE_CONFIG_KEYS = frozenset(
-    {"ledger", "log", "trace", "metrics", "out", "jobs", "backend", "cache"}
+    {
+        "ledger",
+        "log",
+        "trace",
+        "metrics",
+        "out",
+        "jobs",
+        "backend",
+        "cache",
+        # Serve plane: the store directory is per-invocation scratch and
+        # the listen address is bind-time detail, not experiment config.
+        "store",
+        "port",
+        "host",
+    }
 )
 
 
@@ -157,6 +197,15 @@ def flatten_cells(manifest: dict) -> dict[str, float]:
 
     for key, value in (manifest.get("cache") or {}).items():
         put(f"cache.{key}", value)
+
+    # Serve-plane block (repro serve daemon / repro loadgen phases): the
+    # nesting varies (single summary vs per-phase summaries), so walk it
+    # generically — numeric leaves become serve.* cells. The daemon's
+    # config echo (ephemeral port, worker count, ...) is configuration,
+    # not a result; it is compared via the manifest config block instead.
+    serve_block = dict(manifest.get("serve") or {})
+    serve_block.pop("config", None)
+    walk("serve", serve_block)
 
     metrics = manifest.get("metrics") or {}
     for name, value in (metrics.get("counters") or {}).items():

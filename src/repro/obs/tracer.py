@@ -19,6 +19,15 @@ Two clocks coexist:
 The process-global default tracer is **disabled** until
 :func:`enable_tracing` is called: a disabled tracer returns a shared no-op
 span, so instrumented hot paths pay one attribute check and nothing else.
+
+Batch experiments finish quickly enough that keeping every finished span
+in memory is fine; a long-running specialization daemon
+(:mod:`repro.serve`) is not, so the tracer also supports a bounded
+buffer: :meth:`Tracer.configure_flush` sets a ``max_spans`` limit and,
+optionally, a JSONL sink — when the buffer overflows, the oldest spans
+are either appended to the sink (same schema as ``--trace`` exports, so
+``repro trace``/Chrome export keep working on the flushed file) or
+dropped ring-style.
 """
 
 from __future__ import annotations
@@ -126,13 +135,25 @@ class Tracer:
     accumulate under a lock; :meth:`spans` returns a snapshot.
     """
 
-    def __init__(self, enabled: bool = True) -> None:
+    def __init__(
+        self,
+        enabled: bool = True,
+        max_spans: int | None = None,
+        flush_path=None,
+    ) -> None:
         self.enabled = enabled
         self.epoch = time.perf_counter()
         self._lock = threading.Lock()
         self._finished: list[Span] = []
         self._local = threading.local()
         self._next_id = itertools.count(1).__next__
+        self.max_spans: int | None = None
+        self.flush_path = None
+        self._flush_file = None
+        self.spans_flushed = 0
+        self.spans_dropped = 0
+        if max_spans is not None or flush_path is not None:
+            self.configure_flush(flush_path, max_spans=max_spans)
 
     # -- recording -----------------------------------------------------------
     def span(self, name: str, **attrs):
@@ -172,6 +193,73 @@ class Tracer:
                 stack.pop()
         with self._lock:
             self._finished.append(span)
+            self._enforce_limit_locked()
+
+    # -- long-run hygiene ----------------------------------------------------
+    def configure_flush(self, flush_path=None, max_spans: int | None = None) -> None:
+        """Bound the in-memory span buffer for long-running processes.
+
+        With *flush_path* set, overflowing spans are appended to that JSONL
+        file (truncated here) in the same record schema as ``--trace``
+        exports; without a sink the buffer behaves as a ring and the
+        oldest spans are dropped (counted in ``spans_dropped``).
+        """
+        with self._lock:
+            if self._flush_file is not None:
+                self._flush_file.close()
+                self._flush_file = None
+            self.max_spans = max_spans
+            self.flush_path = flush_path
+            self.spans_flushed = 0
+            self.spans_dropped = 0
+            if flush_path is not None:
+                self._flush_file = open(flush_path, "w", encoding="utf-8")
+            self._enforce_limit_locked()
+
+    def _enforce_limit_locked(self) -> None:
+        if self.max_spans is None or len(self._finished) <= self.max_spans:
+            return
+        # Evict in batches (down to half the limit) so the list splice is
+        # amortised instead of per-span.
+        keep = max(1, self.max_spans // 2)
+        overflow = self._finished[:-keep]
+        self._finished = self._finished[-keep:]
+        if self._flush_file is not None:
+            self._write_records_locked(overflow)
+        else:
+            self.spans_dropped += len(overflow)
+
+    def _write_records_locked(self, spans) -> None:
+        import json
+
+        from repro.obs.export import span_to_dict
+
+        for s in spans:
+            self._flush_file.write(
+                json.dumps(span_to_dict(s, epoch=self.epoch), sort_keys=True) + "\n"
+            )
+        self._flush_file.flush()
+        self.spans_flushed += len(spans)
+
+    def flush_all(self) -> int:
+        """Flush every remaining in-memory span to the sink and clear.
+
+        Returns the total number of spans written to the sink so far.
+        No-op (returning 0) when no sink is configured.
+        """
+        with self._lock:
+            if self._flush_file is None:
+                return 0
+            if self._finished:
+                self._write_records_locked(self._finished)
+                self._finished = []
+            return self.spans_flushed
+
+    def close_flush(self) -> None:
+        with self._lock:
+            if self._flush_file is not None:
+                self._flush_file.close()
+                self._flush_file = None
 
     # -- sharded runners -----------------------------------------------------
     @contextmanager
@@ -242,6 +330,7 @@ class Tracer:
             )
         with self._lock:
             self._finished.extend(absorbed)
+            self._enforce_limit_locked()
         return len(absorbed)
 
     # -- inspection ----------------------------------------------------------
@@ -266,6 +355,13 @@ class Tracer:
     def reset(self) -> None:
         with self._lock:
             self._finished.clear()
+            if self._flush_file is not None:
+                self._flush_file.close()
+                self._flush_file = None
+            self.max_spans = None
+            self.flush_path = None
+            self.spans_flushed = 0
+            self.spans_dropped = 0
         self._local = threading.local()
         self.epoch = time.perf_counter()
 

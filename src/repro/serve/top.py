@@ -1,0 +1,125 @@
+"""ASCII live view of the specialization daemon (``repro top``).
+
+The serving counterpart of the paper's Table II/III breakdowns: instead
+of a post-hoc per-stage table, an operator watches the daemon's request
+counters, queue depth, per-tenant cache hit rates, and the p50/p95/p99
+break-even quantiles update in place. Rendering consumes the ``stats``
+protocol op (:mod:`repro.serve.protocol`), so it works against any live
+daemon — instrumented or not; with the daemon's metrics registry
+enabled, the full snapshot is appended via
+:func:`repro.obs.metrics.render_snapshot`.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.serve.protocol import ServeClient
+
+#: ANSI clear-screen + cursor-home, used between watch refreshes.
+CLEAR = "\x1b[2J\x1b[H"
+
+
+def _fmt(value, digits: int = 1) -> str:
+    if value is None:
+        return "-"
+    return f"{value:.{digits}f}"
+
+
+def render_stats(stats: dict, metrics: dict | None = None) -> str:
+    """Render one ``stats`` response body as a top-style page."""
+    config = stats.get("config") or {}
+    requests = stats.get("requests") or {}
+    queue_info = stats.get("queue") or {}
+    latency = stats.get("latency") or {}
+    lines = [
+        f"repro serve @ {config.get('host')}:{config.get('port')} — "
+        f"up {stats.get('uptime_seconds', 0.0):.1f}s, "
+        f"{config.get('workers')} workers ({config.get('backend')}), "
+        f"queue depth {config.get('queue_depth')}",
+        f"requests: {requests.get('completed', 0)} completed, "
+        f"{requests.get('rejected', 0)} rejected, "
+        f"{requests.get('failed', 0)} failed "
+        f"({requests.get('total', 0)} offered)   "
+        f"queue {queue_info.get('depth', 0)}/{config.get('queue_depth')} "
+        f"(max {queue_info.get('max_depth', 0)})   "
+        f"inflight {stats.get('inflight', 0)}",
+        f"dedup saved {((stats.get('dedup') or {}).get('saved', 0))} CAD runs",
+        "",
+        f"{'latency':<22}{'p50':>10}{'p95':>10}{'p99':>10}{'count':>8}",
+    ]
+    rows = (
+        ("queue wait [ms]", "queue_wait", 1000.0, 1),
+        ("service [ms]", "service", 1000.0, 1),
+        ("break-even [s]", "break_even", 1.0, 0),
+    )
+    for label, key, scale, digits in rows:
+        hist = latency.get(key) or {}
+
+        def scaled(q: str) -> str:
+            value = hist.get(q)
+            return _fmt(value * scale if value is not None else None, digits)
+
+        lines.append(
+            f"  {label:<20}{scaled('p50'):>10}{scaled('p95'):>10}"
+            f"{scaled('p99'):>10}{hist.get('count', 0):>8}"
+        )
+    tenants = stats.get("tenants") or {}
+    if tenants:
+        lines += [
+            "",
+            f"{'tenant':<14}{'requests':>9}{'hits':>7}{'misses':>8}"
+            f"{'entries':>9}{'hit rate':>10}",
+        ]
+        for name, row in sorted(tenants.items()):
+            lines.append(
+                f"  {name:<12}{row.get('requests', 0):>9}"
+                f"{row.get('hits', 0):>7}{row.get('misses', 0):>8}"
+                f"{row.get('entries', 0):>9}"
+                f"{100.0 * row.get('hit_rate', 0.0):>9.1f}%"
+            )
+    if stats.get("shutdown"):
+        lines += ["", f"shutdown: {stats['shutdown']}"]
+    if metrics:
+        from repro.obs.metrics import render_snapshot
+
+        lines += ["", "-- metrics snapshot " + "-" * 40, render_snapshot(metrics)]
+    return "\n".join(lines)
+
+
+def run_top(
+    host: str,
+    port: int,
+    interval: float = 2.0,
+    once: bool = False,
+    show_metrics: bool = False,
+    out=None,
+    max_refreshes: int | None = None,
+) -> int:
+    """Poll the daemon's stats and render in place; returns an exit code."""
+    import sys
+
+    out = out or sys.stdout
+    client = ServeClient(host=host, port=port, timeout=10.0)
+    refreshes = 0
+    while True:
+        try:
+            response = client.stats()
+        except OSError as exc:
+            print(f"repro top: cannot reach {host}:{port} ({exc})", file=out)
+            return 1
+        if response.get("status") != "ok":
+            print(f"repro top: {response}", file=out)
+            return 1
+        page = render_stats(
+            response.get("stats") or {},
+            response.get("metrics") if show_metrics else None,
+        )
+        if once:
+            print(page, file=out)
+            return 0
+        print(CLEAR + page, file=out, flush=True)
+        refreshes += 1
+        if max_refreshes is not None and refreshes >= max_refreshes:
+            return 0
+        time.sleep(max(0.1, interval))
