@@ -4,7 +4,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 # Worker count for the parallel leg of `make regress` (1 = serial).
 JOBS ?= 1
 
-.PHONY: test trace-smoke fidelity tables regress regress-serve docs-lint bench-parallel whatif-smoke serve-smoke bench-serve
+.PHONY: test trace-smoke fidelity tables regress regress-serve docs-lint bench-parallel whatif-smoke serve-smoke bench-serve slo-smoke
 
 # Tier-1 verification: the full test suite.
 test:
@@ -67,6 +67,13 @@ serve-smoke:
 # otherwise).
 bench-serve:
 	$(PYTHON) -m repro loadgen --requests 200 --out BENCH_serve.json
+
+# SLO smoke: record two loadgen runs, evaluate the stock error-budget
+# objectives (must hold), breach a deliberately impossible break-even
+# bound (must page into alerts.jsonl), and write the fleet trend report;
+# leaves slo_alerts.jsonl + trend_report.json for CI artifact upload.
+slo-smoke:
+	$(PYTHON) scripts/slo_smoke.py
 
 # Serve regression leg: record two identical load-generation runs in the
 # ledger, then gate the second against the first — the deterministic

@@ -15,10 +15,18 @@ Commands:
   kernel blocks flagged);
 - ``fidelity`` — compare a run's tables against the paper's published
   values and write a machine-readable ``BENCH_*.json`` report;
-- ``runs list|show|diff|gc`` — inspect or garbage-collect the run ledger
-  (``.repro-runs/``);
+- ``runs list|show|diff|gc|trend`` — inspect or garbage-collect the run
+  ledger (``.repro-runs/``); ``gc`` compacts pruned manifests into
+  ``history.jsonl`` and ``trend`` renders per-cell time series across
+  all recorded history;
 - ``regress`` — compare the latest recorded run against a baseline run
-  cell-by-cell, exiting non-zero on regression (CI gate);
+  cell-by-cell, exiting non-zero on regression (CI gate); ``--history N``
+  derives measured-cell noise bands from the last N runs;
+- ``slo RUN`` — evaluate the serve plane's error-budget objectives over a
+  recorded run's ``requests.jsonl``, appending burn-rate alerts to its
+  ``alerts.jsonl`` (exit 1 on a breached objective);
+- ``anomaly`` — robust changepoint detection of the newest run's manifest
+  cells against the fleet history (exit 1 on anomalies);
 - ``critpath RUN`` — reconstruct the specialization DAG of a recorded run
   from its span trace: critical path and per-stage slack on both clocks,
   plus the Amdahl-style break-even headroom table;
@@ -648,8 +656,9 @@ def _cmd_runs(args: argparse.Namespace) -> int:
     if args.runs_command == "gc":
         from repro.obs.ledger import prune_runs
 
+        compact = not args.no_compact
         try:
-            removed = prune_runs(ledger, args.keep)
+            removed = prune_runs(ledger, args.keep, compact=compact)
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
@@ -657,11 +666,39 @@ def _cmd_runs(args: argparse.Namespace) -> int:
             print(
                 f"removed {len(removed)} run(s): {', '.join(removed)}"
             )
+            if compact:
+                from repro.obs.history import history_path
+
+                print(
+                    f"compacted {len(removed)} manifest(s) into "
+                    f"{history_path(ledger)}"
+                )
         else:
             print(
                 f"nothing to remove ({len(ledger.run_ids())} run(s) "
                 f"recorded, keeping {args.keep})"
             )
+        return 0
+    if args.runs_command == "trend":
+        from repro.obs.history import (
+            build_series,
+            collect_entries,
+            render_trend,
+            trend_report,
+        )
+
+        entries = collect_entries(
+            ledger, command=args.filter_command, limit=args.limit or None
+        )
+        series = build_series(entries, args.cells or None)
+        print(render_trend(series))
+        if args.out:
+            import json
+
+            with open(args.out, "w", encoding="utf-8") as fh:
+                json.dump(trend_report(series), fh, indent=2)
+                fh.write("\n")
+            print(f"\nwrote trend report: {args.out}")
         return 0
     if args.runs_command == "list":
         run_ids = ledger.run_ids()
@@ -730,13 +767,30 @@ def _cmd_regress(args: argparse.Namespace) -> int:
             ledger.load(run_id)
             for run_id in run_ids[max(0, upto - args.repeat) : upto]
         ]
+    noise_bands = None
+    if args.history > 0:
+        from repro.obs.history import collect_entries, derive_noise_bands
+
+        candidate_manifest = ledger.load(current_id)
+        entries = collect_entries(
+            ledger,
+            command=candidate_manifest.get("command"),
+            limit=args.history,
+        )
+        noise_bands = derive_noise_bands(entries, tolerances=tolerances)
     report = compare_manifests(
         ledger.load(baseline_id),
         ledger.load(current_id),
         tolerances=tolerances,
         history=history,
+        noise_bands=noise_bands,
     )
     print(report.render(show_all=args.all))
+    if report.noise_banded:
+        print(
+            f"({len(report.noise_banded)} measured cell(s) gated by "
+            f"history-derived noise bands)"
+        )
     for warning in report.config_mismatches:
         print(f"warning: {warning}", file=sys.stderr)
     if not report.ok:
@@ -752,6 +806,112 @@ def _cmd_regress(args: argparse.Namespace) -> int:
         f"({len(report.checked)} checked cells)"
     )
     return 0
+
+
+def _cmd_slo(args: argparse.Namespace) -> int:
+    from repro.obs.ledger import RunLedger
+    from repro.obs.slo import (
+        apply_objective_spec,
+        default_objectives,
+        evaluate,
+        read_requests,
+        render_slo,
+        write_alerts,
+    )
+
+    ledger = RunLedger(args.ledger_dir)
+    try:
+        run_id = ledger.resolve(args.run)
+    except LookupError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    requests_path = ledger.run_dir(run_id) / "requests.jsonl"
+    if not requests_path.is_file():
+        print(
+            f"error: run {run_id} has no requests.jsonl (record a serve or "
+            "loadgen run with --ledger)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        records = read_requests(requests_path)
+    except OSError as exc:
+        print(f"error: cannot read {requests_path}: {exc}", file=sys.stderr)
+        return 2
+    objectives = default_objectives(args.break_even_threshold)
+    try:
+        for spec in args.objective:
+            objectives = apply_objective_spec(objectives, spec)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = evaluate(records, objectives)
+    print(render_slo(report, run_id))
+    if report.alerts:
+        alerts_path = write_alerts(
+            ledger.run_dir(run_id) / "alerts.jsonl", report.alerts, run_id
+        )
+        print(f"\nappended {len(report.alerts)} alert(s) to {alerts_path}")
+    if not args.no_save:
+        ledger.attach_block(run_id, "slo", report.summary())
+    if report.breached:
+        breached = [r.objective.name for r in report.results if r.breached]
+        print(
+            f"\nBREACHED: {', '.join(breached)} "
+            f"(error budget exhausted or fast burn firing)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_anomaly(args: argparse.Namespace) -> int:
+    from repro.obs.history import (
+        build_series,
+        collect_entries,
+        detect_anomalies,
+        render_anomalies,
+    )
+    from repro.obs.ledger import RunLedger
+
+    ledger = RunLedger(args.ledger_dir)
+    entries = collect_entries(
+        ledger, command=args.filter_command, limit=args.limit or None
+    )
+    if not entries:
+        print(
+            f"(no history in {ledger.path}: record runs with --ledger first)"
+        )
+        return 0
+    series = build_series(entries, args.cells or None)
+    anomalies = detect_anomalies(
+        series,
+        min_points=args.min_points,
+        mads=args.mads,
+        min_rel=args.min_rel,
+    )
+    print(render_anomalies(anomalies, len(entries)))
+    if args.out:
+        import json
+
+        payload = {
+            "schema": "repro-anomaly/1",
+            "runs": len(entries),
+            "anomalies": [
+                {
+                    **vars(a),
+                    # JSON has no Infinity: a shifted constant cell reports
+                    # a null robust z instead.
+                    "zscore": None if a.zscore == float("inf") else a.zscore,
+                }
+                for a in anomalies
+            ],
+        }
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"\nwrote anomaly report: {args.out}")
+    return 1 if anomalies else 0
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -1181,8 +1341,47 @@ def build_parser() -> argparse.ArgumentParser:
         "never removed)",
     )
     p_runs_gc.add_argument("--ledger", **ledger_dir_kwargs)
+    p_runs_gc.add_argument(
+        "--no-compact",
+        action="store_true",
+        help="delete pruned runs outright instead of first compacting "
+        "their manifest cells into the ledger's history.jsonl",
+    )
+    p_runs_trend = runs_sub.add_parser(
+        "trend",
+        help="per-cell time series across all recorded history "
+        "(live runs + gc-compacted history.jsonl)",
+    )
+    p_runs_trend.add_argument("--ledger", **ledger_dir_kwargs)
+    p_runs_trend.add_argument(
+        "--cells",
+        action="append",
+        default=[],
+        metavar="PATTERN",
+        help="fnmatch cell filter (repeatable; default: every cell)",
+    )
+    p_runs_trend.add_argument(
+        "--command",
+        dest="filter_command",
+        default=None,
+        metavar="CMD",
+        help="only runs of this command (default: all runs)",
+    )
+    p_runs_trend.add_argument(
+        "--limit",
+        type=int,
+        default=0,
+        metavar="N",
+        help="only the newest N runs (default: 0 = all)",
+    )
+    p_runs_trend.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="also write the series as a JSON trend report",
+    )
     p_runs.set_defaults(fn=_cmd_runs, trace=None, metrics=False, log=None)
-    for p in (p_runs_list, p_runs_show, p_runs_diff, p_runs_gc):
+    for p in (p_runs_list, p_runs_show, p_runs_diff, p_runs_gc, p_runs_trend):
         p.set_defaults(fn=_cmd_runs, trace=None, metrics=False, log=None)
 
     p_regress = sub.add_parser(
@@ -1216,9 +1415,111 @@ def build_parser() -> argparse.ArgumentParser:
         "the last N runs ending at the candidate (default: 1 = off)",
     )
     p_regress.add_argument(
+        "--history",
+        type=int,
+        default=0,
+        metavar="N",
+        help="derive noise bands for measured (informational) cells from "
+        "the last N same-command runs in the ledger history, and gate "
+        "them at median +/- (5%% + 3*MAD) (default: 0 = off)",
+    )
+    p_regress.add_argument(
         "--all", action="store_true", help="show unchanged cells too"
     )
     p_regress.set_defaults(fn=_cmd_regress, trace=None, metrics=False, log=None)
+
+    p_slo = sub.add_parser(
+        "slo",
+        help="evaluate error-budget SLOs over a recorded run's "
+        "requests.jsonl, appending burn-rate alerts to alerts.jsonl",
+    )
+    p_slo.add_argument(
+        "run",
+        nargs="?",
+        default="latest",
+        help="run spec: id, unique prefix, 'latest', or 'latest~N' "
+        "(default: latest)",
+    )
+    p_slo.add_argument("--ledger", **ledger_dir_kwargs)
+    p_slo.add_argument(
+        "--break-even-threshold",
+        type=float,
+        default=3600.0,
+        metavar="SEC",
+        help="bound for the break_even_p95 objective in virtual seconds "
+        "of app runtime (default: 3600)",
+    )
+    p_slo.add_argument(
+        "--objective",
+        action="append",
+        default=[],
+        metavar="NAME:KEY=VAL,...",
+        help="override a stock objective's fields (or declare a new one "
+        "with at least good= and target=); repeatable",
+    )
+    p_slo.add_argument(
+        "--no-save",
+        action="store_true",
+        help="do not attach the SLO summary block to the run's manifest",
+    )
+    p_slo.set_defaults(fn=_cmd_slo, trace=None, metrics=False, log=None)
+
+    p_anomaly = sub.add_parser(
+        "anomaly",
+        help="flag manifest cells of the newest run that break from the "
+        "fleet history (robust median+MAD changepoint)",
+    )
+    p_anomaly.add_argument("--ledger", **ledger_dir_kwargs)
+    p_anomaly.add_argument(
+        "--cells",
+        action="append",
+        default=[],
+        metavar="PATTERN",
+        help="fnmatch cell filter (repeatable; default: every cell)",
+    )
+    p_anomaly.add_argument(
+        "--command",
+        dest="filter_command",
+        default=None,
+        metavar="CMD",
+        help="only runs of this command (default: all runs)",
+    )
+    p_anomaly.add_argument(
+        "--limit",
+        type=int,
+        default=0,
+        metavar="N",
+        help="only the newest N runs (default: 0 = all)",
+    )
+    p_anomaly.add_argument(
+        "--min-points",
+        type=int,
+        default=4,
+        metavar="N",
+        help="trailing points needed before a cell is judged (default: 4)",
+    )
+    p_anomaly.add_argument(
+        "--mads",
+        type=float,
+        default=4.0,
+        metavar="Z",
+        help="robust z-score threshold in 1.4826*MAD units (default: 4)",
+    )
+    p_anomaly.add_argument(
+        "--min-rel",
+        type=float,
+        default=0.001,
+        metavar="FRAC",
+        help="minimum |relative change| vs the baseline median "
+        "(default: 0.001)",
+    )
+    p_anomaly.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="write the flagged cells as a JSON anomaly report",
+    )
+    p_anomaly.set_defaults(fn=_cmd_anomaly, trace=None, metrics=False, log=None)
 
     p_critpath = sub.add_parser(
         "critpath",

@@ -27,8 +27,13 @@ evidence on demand:
   becomes a durable ``manifest.json`` (+ trace + event log) under
   ``.repro-runs/``;
 - :mod:`repro.obs.regress` — regression sentinel comparing two ledger
-  manifests cell-by-cell under configurable tolerances and repeat-run
-  noise bands;
+  manifests cell-by-cell under configurable tolerances, repeat-run
+  noise bands, and history-derived noise bands;
+- :mod:`repro.obs.slo` — declarative SLOs with error-budget accounting
+  and multi-window burn-rate alerts over a serve run's request records;
+- :mod:`repro.obs.history` — fleet history: per-cell time series over
+  every ledger run (live + gc-compacted), robust anomaly detection, and
+  noise-band derivation for the regression sentinel;
 - :mod:`repro.obs.critpath` — critical-path analyzer reconstructing the
   specialization DAG from a recorded span trace (CPM on both clocks,
   per-stage slack, Amdahl-style break-even headroom table);
@@ -141,6 +146,25 @@ _LAZY_EXPORTS = {
     "headroom_table": "repro.obs.critpath",
     "render_critical_path": "repro.obs.critpath",
     "table3_summary": "repro.obs.critpath",
+    "SloObjective": "repro.obs.slo",
+    "SloReport": "repro.obs.slo",
+    "ObjectiveStatus": "repro.obs.slo",
+    "apply_objective_spec": "repro.obs.slo",
+    "default_objectives": "repro.obs.slo",
+    "evaluate_slo": "repro.obs.slo",
+    "read_requests": "repro.obs.slo",
+    "render_slo": "repro.obs.slo",
+    "write_alerts": "repro.obs.slo",
+    "Anomaly": "repro.obs.history",
+    "append_history": "repro.obs.history",
+    "build_series": "repro.obs.history",
+    "collect_entries": "repro.obs.history",
+    "derive_noise_bands": "repro.obs.history",
+    "detect_anomalies": "repro.obs.history",
+    "load_history": "repro.obs.history",
+    "render_anomalies": "repro.obs.history",
+    "render_trend": "repro.obs.history",
+    "trend_report": "repro.obs.history",
     "GridCheck": "repro.obs.whatif",
     "GridCheckCell": "repro.obs.whatif",
     "WhatIfKnobs": "repro.obs.whatif",
@@ -178,7 +202,26 @@ def disable() -> None:
 
 
 __all__ = [
+    "Anomaly",
     "AppReplay",
+    "ObjectiveStatus",
+    "SloObjective",
+    "SloReport",
+    "append_history",
+    "apply_objective_spec",
+    "build_series",
+    "collect_entries",
+    "default_objectives",
+    "derive_noise_bands",
+    "detect_anomalies",
+    "evaluate_slo",
+    "load_history",
+    "read_requests",
+    "render_anomalies",
+    "render_slo",
+    "render_trend",
+    "trend_report",
+    "write_alerts",
     "BlockHeat",
     "CandidateReplay",
     "CellCheck",

@@ -266,13 +266,18 @@ class RunLedger:
         return manifest_path
 
     # -- garbage collection --------------------------------------------------
-    def prune(self, keep: int) -> list[str]:
+    def prune(self, keep: int, compact: bool = True) -> list[str]:
         """Delete the oldest finished runs beyond the *keep* newest.
 
         A run that is currently being recorded is never removed: unfinished
         run directories have no manifest (so they are not enumerated), and
         the process-global :func:`current_run` recorder's directory is
         skipped explicitly as well. Returns the removed run ids.
+
+        With *compact* (the default), each pruned run's flattened manifest
+        cells are first appended to the ledger's ``history.jsonl`` summary
+        (:mod:`repro.obs.history`), so trend analysis and history-derived
+        noise bands survive garbage collection.
         """
         if keep < 0:
             raise ValueError("--keep must be >= 0")
@@ -289,6 +294,15 @@ class RunLedger:
             run_dir = self.run_dir(run_id)
             if active_dir is not None and run_dir.resolve() == active_dir:
                 continue  # refuse to delete the run being recorded
+            if compact:
+                from repro.obs.history import append_history
+
+                try:
+                    manifest = self.load(run_id)
+                except LookupError:
+                    manifest = None
+                if manifest is not None:
+                    append_history(self, [manifest])
             shutil.rmtree(run_dir)
             removed.append(run_id)
         return removed
@@ -505,11 +519,13 @@ def abandon_run() -> None:
     _current_run = None
 
 
-def prune_runs(ledger: RunLedger | str | os.PathLike, keep: int) -> list[str]:
+def prune_runs(
+    ledger: RunLedger | str | os.PathLike, keep: int, compact: bool = True
+) -> list[str]:
     """Delete the oldest ledger runs beyond *keep*; see :meth:`RunLedger.prune`."""
     if not isinstance(ledger, RunLedger):
         ledger = RunLedger(ledger)
-    return ledger.prune(keep)
+    return ledger.prune(keep, compact=compact)
 
 
 # -- ASCII renderings ----------------------------------------------------------

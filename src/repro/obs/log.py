@@ -99,8 +99,9 @@ class EventLog:
         """Record one event; returns the record dict (None when dropped)."""
         if not self.enabled or _level_no(level) < self.level_no:
             return None
+        tracer = get_tracer()
         if span_id is None:
-            current = get_tracer().current_span()
+            current = tracer.current_span()
             span_id = current.span_id if current is not None else None
         record = {
             "ts": round(time.time(), 6),
@@ -109,6 +110,11 @@ class EventLog:
             "run_id": self.run_id,
             "span_id": span_id or None,
         }
+        trace_id = tracer.current_trace_id()
+        if trace_id is not None:
+            # Cross-process correlation: a serve-plane log line resolves
+            # against the stitched distributed trace, not just the span.
+            record["trace_id"] = trace_id
         record.update(fields)
         with self._lock:
             self._records.append(record)
@@ -201,7 +207,7 @@ def read_log(path_or_file) -> list[dict]:
 
 
 #: Fields owned by the record envelope (everything else is event payload).
-_ENVELOPE_FIELDS = ("ts", "level", "event", "run_id", "span_id")
+_ENVELOPE_FIELDS = ("ts", "level", "event", "run_id", "span_id", "trace_id")
 
 
 def render_tail(

@@ -68,6 +68,12 @@ DEFAULT_TOLERANCES: tuple[tuple[str, float | None], ...] = (
     ("serve.*comparison*", None),
     ("serve.*cad_implementations*", None),
     ("metrics.counters.serve.*", None),
+    # SLO evaluations (the daemon's live summary and the block `repro slo`
+    # attaches) are derived from measured latency/admission behaviour, so
+    # they are informational — and must precede "*break_even*": the
+    # break_even_p95 objective's budget cells are measured, not modelled.
+    ("serve.*slo*", None),
+    ("slo.*", None),
     # Break-even folds the measured search milliseconds into a
     # minutes-scale modelled overhead: deterministic to ~1e-6 relative,
     # so gate it loosely enough to absorb that jitter.
@@ -105,6 +111,13 @@ CACHE_DEMOTED_TOLERANCES: tuple[tuple[str, float | None], ...] = (
 
 #: MAD multiplier for the repeat-run noise band.
 NOISE_BAND_MADS = 3.0
+
+#: Relative floor applied when a measured cell is promoted to *checked*
+#: by a history-derived noise band (repro regress --history N): the
+#: allowance is ``HISTORY_NOISE_REL_FLOOR * |baseline| + 3 x MAD``, so a
+#: cell whose fleet history happens to be constant still tolerates small
+#: drift instead of becoming an exact gate.
+HISTORY_NOISE_REL_FLOOR = 0.05
 
 #: Manifest config keys that are expected to differ between runs. ``jobs``,
 #: ``backend``, and ``cache`` are execution strategy, not experiment
@@ -239,6 +252,10 @@ def flatten_cells(manifest: dict) -> dict[str, float]:
     for app, row in (scenario.get("apps") or {}).items():
         put(f"whatif.scenario.{app}.break_even", row.get("break_even"))
         put(f"whatif.scenario.{app}.overhead", row.get("overhead"))
+
+    # SLO block (attached post hoc by `repro slo`): generic numeric walk;
+    # the objective-level alert kinds are strings and fall out naturally.
+    walk("slo", manifest.get("slo") or {})
     return cells
 
 
@@ -320,6 +337,8 @@ class RegressionReport:
     deltas: list[CellDelta] = field(default_factory=list)
     config_mismatches: list[str] = field(default_factory=list)
     repeat_ids: list[str] = field(default_factory=list)
+    #: Measured cells promoted to checked by history-derived noise bands.
+    noise_banded: list[str] = field(default_factory=list)
 
     @property
     def regressions(self) -> list[CellDelta]:
@@ -383,6 +402,7 @@ def compare_manifests(
     current: dict,
     tolerances: list[tuple[str, float | None]] | None = None,
     history: list[dict] | None = None,
+    noise_bands: dict[str, dict] | None = None,
 ) -> RegressionReport:
     """Compare *current* against *baseline* cell by cell.
 
@@ -390,6 +410,15 @@ def compare_manifests(
     wins). *history* is an optional list of repeat-run manifests (the
     candidate included): each cell's candidate value becomes the median
     over the history and its allowance is widened by ``3 x MAD``.
+
+    *noise_bands* maps cell names to ``{"median", "mad", "samples"}``
+    dicts derived from fleet history (:func:`repro.obs.history.
+    derive_noise_bands`). A banded cell whose resolved tolerance is
+    ``None`` (i.e. measured/informational by default and not explicitly
+    configured) is promoted to *checked* with allowance
+    ``HISTORY_NOISE_REL_FLOOR * |baseline| + 3 x MAD`` — measured-cell
+    tolerances come from observed history instead of hand tuning, while
+    deterministic (virtual-clock) cells keep their exact gates untouched.
     """
     resolved = list(tolerances or [])
     base_cache = baseline.get("cache") or {}
@@ -466,12 +495,19 @@ def compare_manifests(
                 value, mad = median_mad(values)
                 noise = mad
                 samples = len(values)
+        tolerance = resolve_tolerance(cell, resolved)
+        if tolerance is None and noise_bands:
+            band = noise_bands.get(cell)
+            if band and int(band.get("samples", 0)) >= 2:
+                tolerance = HISTORY_NOISE_REL_FLOOR
+                noise = max(noise, float(band.get("mad", 0.0)))
+                report.noise_banded.append(cell)
         report.deltas.append(
             CellDelta(
                 cell=cell,
                 baseline=base_cells.get(cell),
                 current=value,
-                tolerance=resolve_tolerance(cell, resolved),
+                tolerance=tolerance,
                 noise=noise,
                 samples=samples,
             )

@@ -1,0 +1,420 @@
+"""Service-level objectives and error-budget burn alerts for the serve plane.
+
+The paper's Section VI frames specialization as worthwhile only when its
+overhead amortizes — the break-even time of Table IV. A serving
+deployment (Section III's online premise) needs that framed as an
+*objective*, not a point-in-time readout: this module declares SLOs over
+the per-request records the daemon writes to ``requests.jsonl`` (warm
+break-even p95, queue-reject rate, dedup efficiency, request error rate),
+accounts an error budget per objective, and raises Google-SRE-style
+multi-window burn-rate alerts (a *fast* burn over a short window pages; a
+sustained *slow* burn tickets). Alerts are appended to ``alerts.jsonl``
+in the run directory, correlated with the run id and the span id of the
+offending request so they resolve against the same run's stitched trace.
+
+Each objective classifies every request record as *good*, *bad*, or *not
+applicable*; the objective holds when the good fraction stays at or above
+``target``. The error budget is ``1 - target`` and the burn rate is the
+observed bad fraction divided by that budget — burn 1.0 spends the budget
+exactly at the sustainable rate, burn 20 exhausts it 20x too fast.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+#: Fast-burn (page) threshold: the classic 14.4x over short+long windows.
+FAST_BURN = 14.4
+#: Slow-burn (ticket) threshold over the long window only.
+SLOW_BURN = 6.0
+
+
+@dataclass(frozen=True)
+class SloObjective:
+    """One declarative objective over the request stream.
+
+    *good* names a classifier (see ``_CLASSIFIERS``); *target* is the
+    required good fraction in (0, 1); *threshold* parameterizes the
+    classifier where one applies (the break-even bound, in virtual
+    seconds). Windows are in the ``t_offset`` clock of requests.jsonl
+    (seconds since daemon start).
+    """
+
+    name: str
+    good: str
+    target: float
+    threshold: float | None = None
+    fast_window: float = 60.0
+    slow_window: float = 300.0
+    fast_burn: float = FAST_BURN
+    slow_burn: float = SLOW_BURN
+    description: str = ""
+
+
+def _good_break_even(record: dict, obj: SloObjective):
+    if record.get("status") != "ok":
+        return None
+    be = record.get("break_even_seconds")
+    if be is None:
+        return None
+    bound = obj.threshold if obj.threshold is not None else math.inf
+    return float(be) <= bound
+
+
+def _good_admitted(record: dict, obj: SloObjective):
+    return record.get("status") != "rejected"
+
+
+def _good_completed(record: dict, obj: SloObjective):
+    if record.get("status") == "rejected":
+        return None
+    return record.get("status") == "ok"
+
+
+def _good_dedup(record: dict, obj: SloObjective):
+    if record.get("status") != "ok":
+        return None
+    candidates = record.get("candidates")
+    hits = record.get("cache_hits")
+    if candidates is None or hits is None:
+        return None
+    if not candidates:
+        return True
+    return (hits or 0) + (record.get("shared") or 0) > 0
+
+
+_CLASSIFIERS = {
+    "break_even_under": _good_break_even,
+    "admitted": _good_admitted,
+    "completed": _good_completed,
+    "dedup_hit": _good_dedup,
+}
+
+
+def default_objectives(break_even_threshold: float = 3600.0) -> tuple:
+    """The serve plane's four stock objectives.
+
+    The break-even bound defaults to one hour of application runtime —
+    within the "several hours" Table IV deems practical for the embedded
+    suite; tighten per deployment (or deliberately, to demo a burn).
+    """
+    return (
+        SloObjective(
+            name="break_even_p95",
+            good="break_even_under",
+            target=0.95,
+            threshold=break_even_threshold,
+            description=(
+                "95% of completed requests break even within "
+                f"{break_even_threshold:g}s of app runtime (Table IV)"
+            ),
+        ),
+        SloObjective(
+            name="queue_reject_rate",
+            good="admitted",
+            target=0.50,
+            description="at most half of arrivals are turned away by admission control",
+        ),
+        SloObjective(
+            name="dedup_efficiency",
+            good="dedup_hit",
+            target=0.25,
+            description=(
+                "at least a quarter of completed requests reuse a cached or "
+                "deduplicated bitstream (Section VI-A)"
+            ),
+        ),
+        SloObjective(
+            name="error_rate",
+            good="completed",
+            target=0.99,
+            description="99% of admitted requests complete without error",
+        ),
+    )
+
+
+def apply_objective_spec(objectives: tuple, spec: str) -> tuple:
+    """Override (or add) one objective from a ``name:key=value,...`` spec.
+
+    Numeric fields are parsed as floats; ``good`` and ``description`` stay
+    strings. Overriding a stock objective keeps its other fields; naming a
+    new objective requires at least ``good`` and ``target``.
+    """
+    name, _, rest = spec.partition(":")
+    name = name.strip()
+    if not name:
+        raise ValueError(f"objective spec {spec!r} has no name")
+    overrides: dict = {}
+    for part in rest.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        key, sep, value = part.partition("=")
+        if not sep:
+            raise ValueError(f"objective spec field {part!r} is not key=value")
+        key = key.strip()
+        if key in ("good", "description"):
+            overrides[key] = value.strip()
+        elif key in (
+            "target",
+            "threshold",
+            "fast_window",
+            "slow_window",
+            "fast_burn",
+            "slow_burn",
+        ):
+            overrides[key] = float(value)
+        else:
+            raise ValueError(f"unknown objective field {key!r}")
+    existing = {obj.name: obj for obj in objectives}
+    if name in existing:
+        updated = replace(existing[name], **overrides)
+        return tuple(updated if obj.name == name else obj for obj in objectives)
+    if "good" not in overrides or "target" not in overrides:
+        raise ValueError(
+            f"new objective {name!r} needs at least good=<classifier> and target=<frac>"
+        )
+    if overrides["good"] not in _CLASSIFIERS:
+        raise ValueError(
+            f"unknown classifier {overrides['good']!r} "
+            f"(have: {', '.join(sorted(_CLASSIFIERS))})"
+        )
+    return objectives + (SloObjective(name=name, **overrides),)
+
+
+@dataclass
+class ObjectiveStatus:
+    """Evaluation of one objective over the full record stream + windows."""
+
+    objective: SloObjective
+    total: int = 0
+    good: int = 0
+    bad: int = 0
+    good_fraction: float | None = None
+    budget_remaining: float | None = None  # fraction of error budget left
+    burn_overall: float = 0.0
+    burn_fast: float = 0.0
+    burn_slow: float = 0.0
+    fast_total: int = 0
+    slow_total: int = 0
+    alert: dict | None = None
+
+    @property
+    def breached(self) -> bool:
+        """Budget exhausted or a page-severity alert is firing."""
+        if self.alert is not None and self.alert.get("severity") == "page":
+            return True
+        return (
+            self.budget_remaining is not None and self.budget_remaining <= 0.0
+        )
+
+
+@dataclass
+class SloReport:
+    """All objectives evaluated at one instant over one record stream."""
+
+    now: float
+    results: list[ObjectiveStatus] = field(default_factory=list)
+
+    @property
+    def alerts(self) -> list[dict]:
+        return [r.alert for r in self.results if r.alert is not None]
+
+    @property
+    def breached(self) -> bool:
+        return any(r.breached for r in self.results)
+
+    def summary(self) -> dict:
+        """Compact JSON-safe dict keyed by objective name (manifests, top)."""
+        out = {}
+        for r in self.results:
+            out[r.objective.name] = {
+                "target": r.objective.target,
+                "total": r.total,
+                "good": r.good,
+                "bad": r.bad,
+                "budget_remaining_pct": (
+                    round(100.0 * r.budget_remaining, 2)
+                    if r.budget_remaining is not None
+                    else None
+                ),
+                "burn_fast": round(r.burn_fast, 3),
+                "burn_slow": round(r.burn_slow, 3),
+                "alert": r.alert.get("kind") if r.alert else None,
+            }
+        return out
+
+
+def evaluate(records, objectives=None, now: float | None = None) -> SloReport:
+    """Evaluate *objectives* over requests.jsonl-shaped *records*.
+
+    ``now`` anchors the rolling windows on the records' ``t_offset`` clock
+    and defaults to the latest offset seen, so a finished run is evaluated
+    as of its last request.
+    """
+    objectives = tuple(objectives) if objectives is not None else default_objectives()
+    records = list(records)
+    offsets = [
+        float(r.get("t_offset") or 0.0) for r in records
+    ]
+    if now is None:
+        now = max(offsets, default=0.0)
+    report = SloReport(now=now)
+    for obj in objectives:
+        classify = _CLASSIFIERS.get(obj.good)
+        if classify is None:
+            raise ValueError(f"objective {obj.name!r}: unknown classifier {obj.good!r}")
+        status = ObjectiveStatus(objective=obj)
+        last_bad: dict | None = None
+        fast_bad = slow_bad = 0
+        for record, t in zip(records, offsets):
+            verdict = classify(record, obj)
+            if verdict is None:
+                continue
+            status.total += 1
+            if verdict:
+                status.good += 1
+            else:
+                status.bad += 1
+                last_bad = record
+            in_fast = t >= now - obj.fast_window
+            in_slow = t >= now - obj.slow_window
+            if in_fast:
+                status.fast_total += 1
+                fast_bad += 0 if verdict else 1
+            if in_slow:
+                status.slow_total += 1
+                slow_bad += 0 if verdict else 1
+        budget = 1.0 - obj.target
+        if status.total and budget > 0:
+            bad_frac = status.bad / status.total
+            status.good_fraction = status.good / status.total
+            status.burn_overall = bad_frac / budget
+            status.budget_remaining = 1.0 - status.burn_overall
+        if status.fast_total and budget > 0:
+            status.burn_fast = (fast_bad / status.fast_total) / budget
+        if status.slow_total and budget > 0:
+            status.burn_slow = (slow_bad / status.slow_total) / budget
+        status.alert = _alert_for(status, last_bad)
+        report.results.append(status)
+    return report
+
+
+def _alert_for(status: ObjectiveStatus, last_bad: dict | None) -> dict | None:
+    """Multi-window burn-rate alert decision for one evaluated objective.
+
+    A page requires the fast burn threshold to hold over *both* windows
+    (the long window confirms it is not a blip); a sustained slow burn
+    over the long window alone raises a ticket.
+    """
+    obj = status.objective
+    kind = severity = None
+    if (
+        status.fast_total
+        and status.slow_total
+        and status.burn_fast >= obj.fast_burn
+        and status.burn_slow >= obj.fast_burn
+    ):
+        kind, severity = "fast_burn", "page"
+    elif status.slow_total and status.burn_slow >= obj.slow_burn:
+        kind, severity = "slow_burn", "ticket"
+    if kind is None:
+        return None
+    alert = {
+        "objective": obj.name,
+        "kind": kind,
+        "severity": severity,
+        "target": obj.target,
+        "burn_fast": round(status.burn_fast, 3),
+        "burn_slow": round(status.burn_slow, 3),
+        "fast_window_s": obj.fast_window,
+        "slow_window_s": obj.slow_window,
+        "budget_remaining_pct": (
+            round(100.0 * status.budget_remaining, 2)
+            if status.budget_remaining is not None
+            else None
+        ),
+    }
+    if last_bad is not None:
+        alert["trace_id"] = last_bad.get("trace_id")
+        alert["span_id"] = last_bad.get("span_id")
+        alert["request_id"] = last_bad.get("request_id")
+    return alert
+
+
+# Package-level alias: ``repro.obs.evaluate_slo`` (the bare name is too
+# generic to re-export).
+evaluate_slo = evaluate
+
+
+def read_requests(path) -> list[dict]:
+    """Load requests.jsonl (skipping unparseable lines)."""
+    records = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict):
+                records.append(record)
+    return records
+
+
+def write_alerts(path, alerts, run_id: str | None = None) -> Path:
+    """Append *alerts* to an alerts.jsonl, stamping run id + wall time."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    stamp = time.time()
+    with open(path, "a", encoding="utf-8") as fh:
+        for alert in alerts:
+            record = {"ts": round(stamp, 3), "run_id": run_id}
+            record.update(alert)
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+    return path
+
+
+def render_slo(report: SloReport, run_id: str | None = None) -> str:
+    """ASCII objective table with budget + burn columns."""
+    header = "SLO evaluation" + (f" — {run_id}" if run_id else "")
+    lines = [header, ""]
+    lines.append(
+        f"{'objective':<20} {'target':>7} {'good/total':>12} "
+        f"{'budget left':>11} {'burn fast':>9} {'burn slow':>9}  status"
+    )
+    for r in report.results:
+        if r.total:
+            budget = (
+                f"{100.0 * r.budget_remaining:.1f}%"
+                if r.budget_remaining is not None
+                else "-"
+            )
+            ratio = f"{r.good}/{r.total}"
+        else:
+            budget, ratio = "-", "0/0"
+        if r.alert is not None:
+            status = r.alert["severity"].upper() + f" ({r.alert['kind']})"
+        elif r.breached:
+            status = "BREACHED"
+        else:
+            status = "ok"
+        lines.append(
+            f"{r.objective.name:<20} {100.0 * r.objective.target:>6.1f}% "
+            f"{ratio:>12} {budget:>11} {r.burn_fast:>9.2f} "
+            f"{r.burn_slow:>9.2f}  {status}"
+        )
+    pages = sum(1 for a in report.alerts if a["severity"] == "page")
+    tickets = sum(1 for a in report.alerts if a["severity"] == "ticket")
+    lines.append("")
+    lines.append(
+        f"alerts: {pages} page, {tickets} ticket "
+        f"(windows anchored at t={report.now:.1f}s)"
+    )
+    return "\n".join(lines)

@@ -181,6 +181,34 @@ class Tracer:
         span.finish()
         return span
 
+    def record_interval(self, name: str, start: float, end: float, **attrs):
+        """Record an already-elapsed interval as a finished span.
+
+        The serve plane learns how long a ticket waited in the admission
+        queue only once a worker dequeues it; by then the wait is over, so
+        it cannot be bracketed with :meth:`span`. This records the interval
+        retroactively (parented under the innermost open span on this
+        thread, e.g. the ``serve.request`` span) without touching the span
+        stack.
+        """
+        if not self.enabled:
+            return NOOP_SPAN
+        stack = getattr(self._local, "stack", None)
+        span = Span(
+            name=name,
+            span_id=self._next_id(),
+            parent_id=stack[-1].span_id if stack else None,
+            start=start,
+            attrs=dict(attrs),
+            end=max(start, end),
+            thread=threading.get_ident(),
+            tracer=self,
+        )
+        with self._lock:
+            self._finished.append(span)
+            self._enforce_limit_locked()
+        return span
+
     def _finish(self, span: Span) -> None:
         span.end = time.perf_counter()
         stack = getattr(self._local, "stack", None)
@@ -343,6 +371,22 @@ class Tracer:
         """
         stack = getattr(self._local, "stack", None)
         return stack[-1] if stack else None
+
+    def current_trace_id(self) -> str | None:
+        """The distributed trace id carried by the innermost span that has one.
+
+        The serve plane stamps ``trace_id`` on its ``serve.request`` spans
+        (minted by the client, W3C-traceparent style); the event log uses
+        this to correlate log lines with the cross-process trace.
+        """
+        stack = getattr(self._local, "stack", None)
+        if not stack:
+            return None
+        for span in reversed(stack):
+            trace_id = span.attrs.get("trace_id")
+            if trace_id:
+                return str(trace_id)
+        return None
 
     def spans(self) -> list[Span]:
         """Snapshot of all finished spans, in completion order."""

@@ -182,8 +182,12 @@ def _run_phase(
     schedule: list[ScheduledRequest],
     store: SharedBitstreamStore,
     cfg: LoadGenConfig,
-) -> dict:
-    """One phase: fresh embedded server over the shared store."""
+) -> tuple[dict, list[dict]]:
+    """One phase: fresh embedded server over the shared store.
+
+    Returns the phase summary plus the server's per-request records (the
+    phase's ``requests.jsonl`` stream), each tagged with the phase label.
+    """
     stores_before = store.combined_stats()["stores"]
     dedup_before = store.dedup_saved
     server = SpecializationServer(
@@ -204,6 +208,9 @@ def _run_phase(
         server.request_shutdown(reason="loadgen-phase-complete")
         shutdown = server.drain()
     summary = server.summary(shutdown=shutdown)
+    records = server.request_records()
+    for record in records:
+        record["phase"] = label
     drive.client_latency_ms.sort()
 
     def client_pct(q: float) -> float | None:
@@ -213,7 +220,7 @@ def _run_phase(
         rank = min(len(values) - 1, max(0, int(round(q * (len(values) - 1)))))
         return values[rank]
 
-    return {
+    phase = {
         "requests": summary["requests"],
         "retries": drive.retries,
         "unresolved": drive.unresolved,
@@ -230,8 +237,10 @@ def _run_phase(
         "dedup": {"saved": store.dedup_saved - dedup_before},
         "cad_implementations": store.combined_stats()["stores"] - stores_before,
         "tenants": summary["tenants"],
+        "slo": summary.get("slo"),
         "shutdown": summary.get("shutdown"),
     }
+    return phase, records
 
 
 def run_loadgen(
@@ -251,13 +260,25 @@ def run_loadgen(
     schedule = build_schedule(cfg)
     store = SharedBitstreamStore(store_root, tenant_budget=cfg.tenant_budget)
     try:
-        phases = {
-            "cold": _run_phase("cold", schedule, store, cfg),
-            "warm": _run_phase("warm", schedule, store, cfg),
-        }
+        cold_phase, cold_records = _run_phase("cold", schedule, store, cfg)
+        warm_phase, warm_records = _run_phase("warm", schedule, store, cfg)
+        phases = {"cold": cold_phase, "warm": warm_phase}
     finally:
         if owns_store:
             shutil.rmtree(store_root, ignore_errors=True)
+
+    # One combined request stream on one timeline: each phase's t_offset is
+    # relative to its own embedded server's start, so the warm phase is
+    # shifted past the end of the cold one before the streams are merged.
+    warm_shift = max(
+        (r.get("t_offset") or 0.0 for r in cold_records), default=0.0
+    ) + 1.0
+    request_records = list(cold_records)
+    for record in warm_records:
+        shifted = dict(record)
+        if shifted.get("t_offset") is not None:
+            shifted["t_offset"] = round(shifted["t_offset"] + warm_shift, 6)
+        request_records.append(shifted)
 
     def be(phase: str, q: str) -> float | None:
         return ((phases[phase].get("latency") or {}).get("break_even") or {}).get(q)
@@ -323,6 +344,11 @@ def run_loadgen(
             }
         )
         recorder.attach_cache(store.combined_stats())
+        requests_path = recorder.run_dir / "requests.jsonl"
+        with open(requests_path, "w", encoding="utf-8") as fh:
+            for record in request_records:
+                fh.write(json.dumps(record, sort_keys=True) + "\n")
+        recorder.artifacts.setdefault("requests", "requests.jsonl")
 
     if out is not None:
         with open(out, "w", encoding="utf-8") as fh:
@@ -368,6 +394,32 @@ def render_loadgen(report: dict) -> str:
             ]
         )
     lines = [table.render()]
+    for name, phase in (report.get("phases") or {}).items():
+        slo = phase.get("slo") or {}
+        if not slo:
+            continue
+        breached = [
+            obj for obj, row in slo.items()
+            if (row or {}).get("alert")
+            or (
+                row.get("budget_remaining_pct") is not None
+                and row["budget_remaining_pct"] <= 0
+            )
+        ]
+        verdict = (
+            f"BREACHED ({', '.join(sorted(breached))})" if breached else "ok"
+        )
+
+        def budget(row: dict) -> str:
+            pct = row.get("budget_remaining_pct")
+            return f"{pct:.0f}% budget" if pct is not None else "n/a"
+
+        lines.append(
+            f"{name} SLOs: {verdict} — "
+            + ", ".join(
+                f"{obj} {budget(row)}" for obj, row in sorted(slo.items())
+            )
+        )
     comparison = report.get("comparison") or {}
     cold = comparison.get("break_even_p95_cold")
     warm = comparison.get("break_even_p95_warm")

@@ -325,14 +325,19 @@ class SpecializationServer:
             self._reply(conn, {"status": "error", "error": str(exc)})
             return False
         if self._stop.is_set():
-            self._reject(conn, reason="shutting-down", retry_after_ms=None)
+            self._reject(
+                conn, reason="shutting-down", retry_after_ms=None, request=request
+            )
             return False
         ticket = _Ticket(conn=conn, request=request)
         try:
             self._queue.put_nowait(ticket)
         except queue.Full:
             self._reject(
-                conn, reason="queue-full", retry_after_ms=self._retry_after_ms()
+                conn,
+                reason="queue-full",
+                retry_after_ms=self._retry_after_ms(),
+                request=request,
             )
             return False
         with self._stats_lock:
@@ -344,13 +349,48 @@ class SpecializationServer:
         self._set_gauge("serve.queue_depth", self._queue.qsize())
         return True
 
-    def _reject(self, conn, reason: str, retry_after_ms: float | None) -> None:
+    def _reject(
+        self,
+        conn,
+        reason: str,
+        retry_after_ms: float | None,
+        request: dict | None = None,
+    ) -> None:
         with self._stats_lock:
             self.requests["rejected"] += 1
+            # Rejections are SLO events too: the queue-reject-rate
+            # objective is evaluated over requests.jsonl, so every parsed
+            # but turned-away request leaves a record.
+            if request is not None and len(self._records) < 100_000:
+                self._records.append(
+                    {
+                        "t_offset": round(
+                            time.perf_counter() - self._started, 6
+                        ),
+                        "tenant": request["tenant"],
+                        "app": request["app"],
+                        "request_id": request["request_id"] or None,
+                        "status": "rejected",
+                        "reason": reason,
+                        "retry_after_ms": (
+                            round(retry_after_ms, 3)
+                            if retry_after_ms is not None
+                            else None
+                        ),
+                        "queue_wait_ms": None,
+                        "service_ms": None,
+                        "break_even_seconds": None,
+                        "error": None,
+                        "trace_id": request.get("trace_id"),
+                        "span_id": None,
+                    }
+                )
         self._count("serve.requests.rejected")
         response = {"status": "rejected", "reason": reason}
         if retry_after_ms is not None:
             response["retry_after_ms"] = round(retry_after_ms, 3)
+        if request is not None and request.get("trace_id"):
+            response["trace"] = {"trace_id": request["trace_id"], "span_id": None}
         self._reply(conn, response)
 
     def _retry_after_ms(self) -> float:
@@ -393,17 +433,30 @@ class SpecializationServer:
     def _process_ticket(self, ticket: _Ticket, tracer) -> None:
         request = ticket.request
         tenant = request["tenant"]
-        queue_wait = time.perf_counter() - ticket.enqueued_at
-        started = time.perf_counter()
+        dequeued = time.perf_counter()
+        queue_wait = dequeued - ticket.enqueued_at
+        started = dequeued
         with tracer.child_context(self._span):
             with tracer.span(
                 "serve.request",
                 tenant=tenant,
                 app=request["app"],
                 request_id=request["request_id"] or None,
+                trace_id=request.get("trace_id"),
+                client_span_id=request.get("client_span_id"),
             ) as span:
+                # The queue wait is already over when a worker picks the
+                # ticket up; record it retroactively as a child of this
+                # request span so the stitched trace shows client wait vs
+                # queue wait vs CAD explicitly.
+                tracer.record_interval(
+                    "serve.queue.wait",
+                    ticket.enqueued_at,
+                    dequeued,
+                    trace_id=request.get("trace_id"),
+                )
                 try:
-                    result = self._execute(request)
+                    result = self._execute(request, span)
                     error = None
                 except Exception as exc:  # noqa: BLE001 - daemon must survive
                     result = None
@@ -414,9 +467,9 @@ class SpecializationServer:
                     queue_wait_ms=round(queue_wait * 1000.0, 3),
                     service_ms=round(service * 1000.0, 3),
                 )
-        self._account(ticket, result, error, queue_wait, service)
+        self._account(ticket, result, error, queue_wait, service, span)
 
-    def _execute(self, request: dict) -> dict:
+    def _execute(self, request: dict, span=None) -> dict:
         if self.config.backend == "process":
             assert self._pool is not None
             tracer = get_tracer()
@@ -432,7 +485,14 @@ class SpecializationServer:
             )
             result, records, snapshot, counters = future.result()
             if records:
-                tracer.absorb(records, parent=self._span, base=fanout_start)
+                # Reparent the child process's span subtree under *this
+                # request's* span (not the server root), so the stitched
+                # trace keeps parent/child ids across the process boundary.
+                tracer.absorb(
+                    records,
+                    parent=span if span is not None else self._span,
+                    base=fanout_start,
+                )
             if snapshot is not None:
                 registry.merge_snapshot(snapshot)
             if counters is not None:
@@ -441,7 +501,14 @@ class SpecializationServer:
                 )
             return result
         tenant_cache = self.store.tenant(request["tenant"])
-        return execute_specialize(request, tenant_cache)
+        with get_tracer().span(
+            "serve.execute",
+            tenant=request["tenant"],
+            app=request["app"],
+            trace_id=request.get("trace_id"),
+            backend="thread",
+        ):
+            return execute_specialize(request, tenant_cache)
 
     def _account(
         self,
@@ -450,9 +517,11 @@ class SpecializationServer:
         error: str | None,
         queue_wait: float,
         service: float,
+        span=None,
     ) -> None:
         request = ticket.request
         tenant = request["tenant"]
+        span_id = getattr(span, "span_id", 0) or None
         self.queue_wait_hist.observe(queue_wait)
         self.service_hist.observe(service)
         be = (result or {}).get("break_even_seconds")
@@ -466,10 +535,14 @@ class SpecializationServer:
             self._tenant_requests[tenant] = (
                 self._tenant_requests.get(tenant, 0) + 1
             )
+            tenant_count = self._tenant_requests[tenant]
             self._service_ewma = 0.8 * self._service_ewma + 0.2 * service
             if len(self._records) < 100_000:
                 self._records.append(
                     {
+                        "t_offset": round(
+                            time.perf_counter() - self._started, 6
+                        ),
                         "tenant": tenant,
                         "app": request["app"],
                         "request_id": request["request_id"] or None,
@@ -477,7 +550,12 @@ class SpecializationServer:
                         "queue_wait_ms": round(queue_wait * 1000.0, 3),
                         "service_ms": round(service * 1000.0, 3),
                         "break_even_seconds": be,
+                        "candidates": (result or {}).get("candidates"),
+                        "cache_hits": (result or {}).get("cache_hits"),
+                        "shared": (result or {}).get("shared"),
                         "error": error,
+                        "trace_id": request.get("trace_id"),
+                        "span_id": span_id,
                     }
                 )
         registry = get_metrics()
@@ -497,6 +575,7 @@ class SpecializationServer:
             registry.gauge(f"serve.tenant.{tenant}.hit_rate").set(
                 round(hit_rate, 6)
             )
+            registry.gauge(f"serve.tenant.{tenant}.requests").set(tenant_count)
         if error is None:
             response = {
                 "status": "ok",
@@ -511,6 +590,11 @@ class SpecializationServer:
             }
         else:
             response = {"status": "error", "error": error}
+        if request.get("trace_id"):
+            response["trace"] = {
+                "trace_id": request["trace_id"],
+                "span_id": f"{span_id:016x}" if span_id else None,
+            }
         self._reply(ticket.conn, response)
 
     # -- telemetry -----------------------------------------------------------
@@ -532,11 +616,17 @@ class SpecializationServer:
             max_depth = self._max_queue_depth
             inflight = self._inflight
         store_stats = self.store.stats()
+        budget = self.config.tenant_budget
         tenants = {}
         for name, stats in (store_stats.get("tenants") or {}).items():
+            entries = stats.get("entries", 0)
             tenants[name] = {
                 "requests": tenant_requests.get(name, 0),
-                "entries": stats.get("entries", 0),
+                "entries": entries,
+                "budget": budget,
+                "budget_used_pct": (
+                    round(100.0 * entries / budget, 1) if budget else None
+                ),
                 "hits": stats.get("hits", 0),
                 "misses": stats.get("misses", 0),
                 "stores": stats.get("stores", 0),
@@ -571,7 +661,23 @@ class SpecializationServer:
                 "service": hist(self.service_hist),
                 "break_even": hist(self.break_even_hist),
             },
+            "slo": self._slo_summary(),
         }
         if shutdown is not None:
             summary["shutdown"] = shutdown
         return summary
+
+    def request_records(self) -> list[dict]:
+        """Snapshot of the per-request records (requests.jsonl rows)."""
+        with self._stats_lock:
+            return list(self._records)
+
+    def _slo_summary(self) -> dict:
+        """Live error-budget state per declared objective (`repro top`)."""
+        from repro.obs.slo import default_objectives, evaluate
+
+        records = self.request_records()
+        report = evaluate(
+            records, default_objectives(), now=time.perf_counter() - self._started
+        )
+        return report.summary()

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.core.cache import PersistentBitstreamCache
+from repro.obs import get_tracer
 
 #: Tenant names become directory names: constrain them hard.
 _TENANT_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
@@ -56,6 +57,9 @@ class _Flight:
     owner: int  # builder's thread ident
     event: threading.Event = field(default_factory=threading.Event)
     waiters: int = 0
+    #: Span id of the builder's innermost open span at flight creation, so
+    #: follower requests' dedup-wait spans can link to the leader's trace.
+    leader_span_id: int | None = None
 
 
 class SharedBitstreamStore:
@@ -99,10 +103,14 @@ class SharedBitstreamStore:
     def _acquire_or_wait(self, tenant: str, key: str):
         """Become the builder (returns None) or the flight to wait on."""
         fkey = (tenant, key)
+        leader = get_tracer().current_span()
         with self._lock:
             flight = self._flights.get(fkey)
             if flight is None:
-                self._flights[fkey] = _Flight(owner=threading.get_ident())
+                self._flights[fkey] = _Flight(
+                    owner=threading.get_ident(),
+                    leader_span_id=leader.span_id if leader is not None else None,
+                )
                 return None
             flight.waiters += 1
             return flight
@@ -241,7 +249,18 @@ class TenantCache:
                     # Builder: count the miss exactly once, like a serial
                     # lookup would, and let the caller run the CAD flow.
                     return self.cache.get(key, candidate)
-            if not flight.event.wait(FLIGHT_TIMEOUT_SECONDS):
+            # Follower: the wait is part of this request's latency, so it
+            # gets its own span in the request's trace, linked to the
+            # leader (builder) span whose CAD run we are subscribing to.
+            with get_tracer().span(
+                "store.dedup.wait",
+                tenant=self.name,
+                key=key[:16],
+                leader_span_id=flight.leader_span_id,
+            ) as wait_span:
+                resolved = flight.event.wait(FLIGHT_TIMEOUT_SECONDS)
+                wait_span.set_attr("timed_out", not resolved)
+            if not resolved:
                 self.store._expire(self.name, key, flight)
             waited = True
 

@@ -69,14 +69,44 @@ def render_stats(stats: dict, metrics: dict | None = None) -> str:
         lines += [
             "",
             f"{'tenant':<14}{'requests':>9}{'hits':>7}{'misses':>8}"
-            f"{'entries':>9}{'hit rate':>10}",
+            f"{'entries':>9}{'hit rate':>10}{'budget':>10}",
         ]
         for name, row in sorted(tenants.items()):
+            budget = row.get("budget")
+            if budget:
+                used = row.get("budget_used_pct")
+                budget_text = (
+                    f"{row.get('entries', 0)}/{budget}"
+                    + (f" ({used:.0f}%)" if used is not None else "")
+                )
+            else:
+                budget_text = "-"
             lines.append(
                 f"  {name:<12}{row.get('requests', 0):>9}"
                 f"{row.get('hits', 0):>7}{row.get('misses', 0):>8}"
                 f"{row.get('entries', 0):>9}"
                 f"{100.0 * row.get('hit_rate', 0.0):>9.1f}%"
+                f"{budget_text:>10}"
+            )
+    slo = stats.get("slo") or {}
+    if slo:
+        lines += [
+            "",
+            f"{'SLO':<20}{'target':>8}{'good/total':>12}"
+            f"{'budget left':>13}{'burn f/s':>12}{'alert':>12}",
+        ]
+        for name, row in sorted(slo.items()):
+            pct = row.get("budget_remaining_pct")
+            ratio = f"{row.get('good', 0)}/{row.get('total', 0)}"
+            budget_left = f"{pct:.1f}%" if pct is not None else "-"
+            burn = (
+                f"{row.get('burn_fast', 0.0):.1f}/"
+                f"{row.get('burn_slow', 0.0):.1f}"
+            )
+            lines.append(
+                f"  {name:<18}{100.0 * row.get('target', 0.0):>7.1f}%"
+                f"{ratio:>12}{budget_left:>13}{burn:>12}"
+                f"{(row.get('alert') or '-'):>12}"
             )
     if stats.get("shutdown"):
         lines += ["", f"shutdown: {stats['shutdown']}"]

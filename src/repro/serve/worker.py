@@ -19,6 +19,7 @@ candidate is subtracted" on a hit.
 
 from __future__ import annotations
 
+import os
 import threading
 from dataclasses import dataclass
 from math import isfinite
@@ -93,6 +94,7 @@ def app_context(name: str) -> AppContext:
 
 def parse_specialize_request(message: dict) -> dict:
     """Validate a ``specialize`` request; returns normalized fields."""
+    from repro.serve.protocol import parse_traceparent
     from repro.serve.store import validate_tenant
 
     tenant = validate_tenant(message.get("tenant"))
@@ -110,6 +112,7 @@ def parse_specialize_request(message: dict) -> dict:
         slots = int(slots)
         if slots < 1:
             raise ValueError(f"slots must be >= 1, got {slots}")
+    trace = parse_traceparent(message.get("traceparent"))
     return {
         "tenant": tenant,
         "app": app,
@@ -117,6 +120,8 @@ def parse_specialize_request(message: dict) -> dict:
         "max_blocks": max_blocks,
         "slots": slots,
         "request_id": str(message.get("request_id") or ""),
+        "trace_id": trace["trace_id"] if trace else None,
+        "client_span_id": trace["parent_span_id"] if trace else None,
     }
 
 
@@ -207,7 +212,20 @@ def process_request_worker(
         root=Path(store_root) / "tenants" / request["tenant"],
         max_entries=tenant_budget,
     )
-    result = execute_specialize(request, cache)
+    # The child's root span continues the request's trace context: the
+    # parent absorbs these records under the serve.request span, so the
+    # stitched tree crosses the process boundary with parent/child span
+    # ids intact (the pid attribute makes the hop visible).
+    with tracer.span(
+        "serve.execute",
+        tenant=request["tenant"],
+        app=request["app"],
+        request_id=request.get("request_id") or None,
+        trace_id=request.get("trace_id"),
+        backend="process",
+        pid=os.getpid(),
+    ):
+        result = execute_specialize(request, cache)
     return (
         result,
         tracer_records(tracer) if tracing else [],

@@ -351,6 +351,293 @@ class TestBoundedTracer:
         assert len(tracer.spans()) >= 32
 
 
+class TestTracePropagation:
+    def test_traceparent_round_trip(self):
+        from repro.serve.protocol import (
+            mint_trace_id,
+            mint_traceparent,
+            parse_traceparent,
+        )
+
+        tid = mint_trace_id("r0001")
+        assert tid == mint_trace_id("r0001")
+        assert tid != mint_trace_id("r0002")
+        assert len(tid) == 32
+        parsed = parse_traceparent(mint_traceparent(tid, 0x1234))
+        assert parsed == {"trace_id": tid, "parent_span_id": 0x1234}
+        # Malformed headers are best-effort: never an error, just no trace.
+        assert parse_traceparent(None) is None
+        assert parse_traceparent("garbage") is None
+        assert parse_traceparent("00-nothex!-0001-01") is None
+        # A zero parent span id (client had tracing disabled) maps to None.
+        assert parse_traceparent(mint_traceparent(tid, 0))["parent_span_id"] is None
+
+    def test_thread_backend_stitches_one_trace(self, tmp_path):
+        from repro.serve.protocol import mint_trace_id
+
+        tracer = obs.enable_tracing()
+        try:
+            srv = SpecializationServer(
+                ServerConfig(workers=1, store_root=str(tmp_path / "store")),
+                record_run=False,
+            )
+            srv.start()
+            try:
+                response = ServeClient(port=srv.port).specialize(
+                    "acme", "adpcm", request_id="r0001"
+                )
+                assert response["status"] == "ok"
+            finally:
+                srv.request_shutdown(reason="test")
+                srv.drain()
+        finally:
+            obs.disable_tracing()
+        trace_id = mint_trace_id("r0001")
+        assert response["trace"]["trace_id"] == trace_id
+        (client_span,) = tracer.find("serve.client")
+        (request_span,) = tracer.find("serve.request")
+        (queue_span,) = tracer.find("serve.queue.wait")
+        executes = [
+            s
+            for s in tracer.find("serve.execute")
+            if s.attrs.get("backend") == "thread"
+        ]
+        # Client, server request, queue wait, and CAD execution all carry
+        # the trace id the client minted from the request id.
+        for span in (client_span, request_span, queue_span, *executes):
+            assert span.attrs["trace_id"] == trace_id
+        # Each side learned the other's span id: the traceparent header
+        # carried the client's, the response trace block the server's.
+        assert request_span.attrs["client_span_id"] == client_span.span_id
+        assert (
+            client_span.attrs["server_span_id"] == f"{request_span.span_id:016x}"
+        )
+        # Queue wait and execution are children of the request span, so the
+        # stitched tree breaks client wait into queue wait vs CAD.
+        assert queue_span.parent_id == request_span.span_id
+        assert executes
+        assert all(s.parent_id == request_span.span_id for s in executes)
+
+    def test_process_backend_stitches_across_processes(self, tmp_path):
+        import os
+
+        from repro.serve.protocol import mint_trace_id
+
+        tracer = obs.enable_tracing()
+        try:
+            srv = SpecializationServer(
+                ServerConfig(
+                    workers=1,
+                    backend="process",
+                    store_root=str(tmp_path / "store"),
+                ),
+                record_run=False,
+            )
+            srv.start()
+            try:
+                response = ServeClient(port=srv.port).specialize(
+                    "acme", "adpcm", request_id="r0002"
+                )
+                assert response["status"] == "ok"
+            finally:
+                srv.request_shutdown(reason="test")
+                srv.drain()
+        finally:
+            obs.disable_tracing()
+        (request_span,) = tracer.find("serve.request")
+        workers = [
+            s
+            for s in tracer.find("serve.execute")
+            if s.attrs.get("backend") == "process"
+        ]
+        assert len(workers) == 1
+        (worker_span,) = workers
+        # The pool child's subtree was absorbed under this request's span:
+        # parent/child span ids hold across the process boundary.
+        assert worker_span.parent_id == request_span.span_id
+        assert worker_span.attrs["trace_id"] == mint_trace_id("r0002")
+        assert worker_span.attrs["pid"] != os.getpid()
+        # Absorbed spans are rebased onto the parent's clock, so the worker
+        # subtree nests inside the request interval.
+        assert request_span.start <= worker_span.start
+        assert worker_span.end <= request_span.end
+
+    def test_dedup_wait_span_links_to_leader(self, tmp_path):
+        import time
+
+        tracer = obs.enable_tracing()
+        try:
+            store = SharedBitstreamStore(tmp_path / "store")
+            key = "f" * 64
+            leader_ids: dict = {}
+            errors: list = []
+            leader_building = threading.Event()
+            release = threading.Event()
+
+            def leader():
+                try:
+                    with tracer.span("serve.request", role="leader") as span:
+                        leader_ids["span_id"] = span.span_id
+                        # Empty cache, no flight: this thread becomes the
+                        # builder and holds the flight open until released.
+                        assert store.tenant("acme").get(key) is None
+                        leader_building.set()
+                        assert release.wait(10.0)
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(exc)
+                finally:
+                    leader_building.set()
+                    store.release_thread_flights()
+
+            def follower():
+                try:
+                    assert leader_building.wait(10.0)
+                    with tracer.span("serve.request", role="follower"):
+                        # Waits on the leader's flight; the leader releases
+                        # without storing, so the retry becomes the builder.
+                        assert store.tenant("acme").get(key) is None
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(exc)
+                finally:
+                    store.release_thread_flights()
+
+            threads = [
+                threading.Thread(target=leader),
+                threading.Thread(target=follower),
+            ]
+            for t in threads:
+                t.start()
+            # Release the leader only once the follower is subscribed to
+            # its flight, so the dedup-wait span is guaranteed to exist.
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                with store._lock:
+                    flight = store._flights.get(("acme", key))
+                    if flight is not None and flight.waiters >= 1:
+                        break
+                time.sleep(0.002)
+            release.set()
+            for t in threads:
+                t.join(timeout=10.0)
+            assert not errors
+        finally:
+            obs.disable_tracing()
+        (wait_span,) = tracer.find("store.dedup.wait")
+        roles = {
+            s.attrs.get("role"): s for s in tracer.find("serve.request")
+        }
+        # The follower's wait span sits in its own request subtree but
+        # links to the leader span whose CAD run it subscribed to.
+        assert wait_span.parent_id == roles["follower"].span_id
+        assert wait_span.attrs["leader_span_id"] == leader_ids["span_id"]
+        assert wait_span.attrs["leader_span_id"] == roles["leader"].span_id
+        assert wait_span.attrs["timed_out"] is False
+        assert wait_span.thread != roles["leader"].thread
+
+
+class _RejectingClient(ServeClient):
+    """A client whose server is permanently saturated (always rejects)."""
+
+    def __init__(self):
+        super().__init__()
+        self.calls: list[dict] = []
+
+    def specialize(self, tenant, app, **kwargs):
+        self.calls.append(dict(kwargs))
+        return {"status": "rejected", "retry_after_ms": 50}
+
+
+class TestSpecializeRetryBackoff:
+    def _run(self, monkeypatch, request_id, attempts=6, cap_ms=400.0):
+        sleeps: list[float] = []
+        monkeypatch.setattr(
+            "repro.serve.protocol.time.sleep", lambda s: sleeps.append(s)
+        )
+        client = _RejectingClient()
+        response, retries = client.specialize_retry(
+            "acme",
+            "adpcm",
+            max_attempts=attempts,
+            backoff_cap_ms=cap_ms,
+            request_id=request_id,
+        )
+        return response, retries, sleeps, client
+
+    def test_backoff_grows_caps_and_jitters(self, monkeypatch):
+        response, retries, sleeps, client = self._run(monkeypatch, "r0042")
+        assert response["status"] == "rejected"
+        assert retries == 6
+        assert len(sleeps) == 6
+        assert all(s >= 0.005 for s in sleeps)
+        # Worst-case jitter is 1.5x the capped delay.
+        assert max(sleeps) <= 400.0 * 1.5 / 1000.0
+        # Exponential growth dominates the jitter band: attempt 2's
+        # minimum (200ms * 0.5) exceeds attempt 0's maximum (50ms * 1.5).
+        assert sleeps[2] > sleeps[0]
+        # Every attempt (including rejected ones) shares one trace id.
+        from repro.serve.protocol import mint_trace_id
+
+        assert {c.get("trace_id") for c in client.calls} == {
+            mint_trace_id("r0042")
+        }
+
+    def test_backoff_is_deterministic_per_request_identity(self, monkeypatch):
+        _, _, first, _ = self._run(monkeypatch, "r0042")
+        _, _, replay, _ = self._run(monkeypatch, "r0042")
+        _, _, other, _ = self._run(monkeypatch, "r0099")
+        # A replayed schedule backs off identically; a different request
+        # decorrelates (no retry stampede in lockstep).
+        assert first == replay
+        assert first != other
+
+
+class TestAbsorbAfterFlush:
+    def _worker_records(self, count=20):
+        from repro.obs.export import tracer_records
+
+        worker = Tracer(enabled=True)
+        for i in range(count):
+            with worker.span("cad.stage", index=i):
+                pass
+        return tracer_records(worker)
+
+    def test_absorb_into_flush_sink_accounts_exactly(self, tmp_path):
+        records = self._worker_records(20)
+        sink = tmp_path / "trace.jsonl"
+        tracer = Tracer(enabled=True)
+        tracer.configure_flush(sink, max_spans=8)
+        assert tracer.absorb(records, parent=None) == 20
+        # absorb() appends the whole batch, then enforces the limit once:
+        # 20 spans against max_spans=8 evicts down to 8 // 2 = 4 kept,
+        # flushing exactly 16 to the sink and dropping none.
+        assert tracer.spans_flushed == 16
+        assert tracer.spans_dropped == 0
+        assert len(tracer.spans()) == 4
+        assert tracer.flush_all() == 20
+        assert tracer.spans() == []
+        tracer.close_flush()
+        # The sink holds the complete absorbed trace, flushed + drained,
+        # and it round-trips through validation and Chrome export whole.
+        flushed = read_jsonl(sink)
+        assert len(flushed) == 20
+        assert sorted(r.attrs["index"] for r in flushed) == list(range(20))
+        assert validate_trace(flushed) == []
+        trace = chrome_trace(flushed)
+        assert len(trace["traceEvents"]) == 20
+
+    def test_absorb_ring_mode_drops_oldest(self):
+        records = self._worker_records(20)
+        tracer = Tracer(enabled=True)
+        tracer.configure_flush(None, max_spans=8)
+        assert tracer.absorb(records, parent=None) == 20
+        # Same eviction math, but with no sink the overflow is dropped.
+        assert tracer.spans_dropped == 16
+        assert tracer.spans_flushed == 0
+        assert tracer.flush_all() == 0
+        kept = [s.attrs["index"] for s in tracer.spans()]
+        assert kept == [16, 17, 18, 19]
+
+
 class TestServeRegressCells:
     def _manifest(self, **serve) -> dict:
         return {
