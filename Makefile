@@ -4,7 +4,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 # Worker count for the parallel leg of `make regress` (1 = serial).
 JOBS ?= 1
 
-.PHONY: test trace-smoke fidelity tables regress regress-serve docs-lint bench-parallel whatif-smoke serve-smoke bench-serve slo-smoke
+.PHONY: test trace-smoke fidelity tables regress regress-serve regress-vm docs-lint bench-parallel bench-vm whatif-smoke serve-smoke bench-serve slo-smoke
 
 # Tier-1 verification: the full test suite.
 test:
@@ -71,9 +71,28 @@ bench-serve:
 # SLO smoke: record two loadgen runs, evaluate the stock error-budget
 # objectives (must hold), breach a deliberately impossible break-even
 # bound (must page into alerts.jsonl), and write the fleet trend report;
-# leaves slo_alerts.jsonl + trend_report.json for CI artifact upload.
+# leaves artifacts/slo_alerts.jsonl + artifacts/trend_report.json for CI
+# artifact upload (the directory is gitignored).
 slo-smoke:
 	$(PYTHON) scripts/slo_smoke.py
+
+# VM interpreter benchmark: calibrate the per-opcode-class dispatch cost,
+# then run the embedded suite plain + sampled (virtual clock must stay
+# bit-identical); rewrites BENCH_vm.json, the committed dispatch baseline
+# the ROADMAP's VM-speedup work is measured against.
+bench-vm:
+	$(PYTHON) -m repro bench-vm --out BENCH_vm.json
+
+# VM regression leg: record two vmprof runs of one app in the ledger and
+# gate the second against the first — opcode/digram/superinsn counts and
+# the virtual clock must reproduce exactly (rel 1e-9) while the measured
+# dispatch-cost/wall cells stay informational until `--history` noise
+# bands promote them (`vm.*` tolerances in repro.obs.regress).
+regress-vm:
+	$(PYTHON) -m repro vmprof adpcm --ledger
+	$(PYTHON) -m repro vmprof adpcm --ledger
+	$(PYTHON) -m repro runs list --limit 5
+	$(PYTHON) -m repro regress --baseline latest~1 --history 5
 
 # Serve regression leg: record two identical load-generation runs in the
 # ledger, then gate the second against the first — the deterministic

@@ -15,9 +15,10 @@ the serving-era objective machinery the way an operator would:
 4. ``repro anomaly`` must stay quiet — two comparable runs are far below
    the min-points floor, so nothing may flag.
 
-The breach alerts and the trend report are copied/written into the
-repository root (``slo_alerts.jsonl`` / ``trend_report.json``) so CI can
-upload them as artifacts. Run from the repository root:
+The breach alerts and the trend report are written under the gitignored
+``artifacts/`` directory (``artifacts/slo_alerts.jsonl`` /
+``artifacts/trend_report.json``) so CI can upload them without dirtying
+the working tree. Run from the repository root:
 ``python scripts/slo_smoke.py``. No third-party dependencies.
 """
 
@@ -33,6 +34,9 @@ from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
 SRC = REPO / "src"
+
+#: Gitignored drop zone for the CI artifacts (alerts + trend report).
+ARTIFACTS = REPO / "artifacts"
 
 #: Subprocess environment with the in-tree package importable.
 ENV = dict(os.environ)
@@ -127,12 +131,14 @@ def main() -> int:
             fail(f"no fast_burn alert recorded (got {alerts})")
         if any(not a.get("run_id") for a in pages):
             fail(f"fast_burn alert missing run id correlation: {pages}")
-        shutil.copy(alerts_path, REPO / "slo_alerts.jsonl")
+        ARTIFACTS.mkdir(exist_ok=True)
+        shutil.copy(alerts_path, ARTIFACTS / "slo_alerts.jsonl")
         print(f"slo-smoke: breach paged ({len(pages)} fast_burn alert(s) "
               "in alerts.jsonl)")
 
         # 3. Fleet trend report over the recorded history.
-        trend_out = REPO / "trend_report.json"
+        ARTIFACTS.mkdir(exist_ok=True)
+        trend_out = ARTIFACTS / "trend_report.json"
         trend = repro(
             "runs", "trend", "--ledger", ledger_dir,
             "--out", str(trend_out),

@@ -64,7 +64,12 @@ class CompiledApp:
     def module(self):
         return self.compilation.module
 
-    def run(self, dataset: DatasetSpec | str | None = None, max_steps: int = 200_000_000) -> ExecutionResult:
+    def run(
+        self,
+        dataset: DatasetSpec | str | None = None,
+        max_steps: int = 200_000_000,
+        sampler=None,
+    ) -> ExecutionResult:
         if dataset is None:
             dataset = self.spec.train
         elif isinstance(dataset, str):
@@ -74,6 +79,7 @@ class CompiledApp:
             dataset_size=dataset.size,
             dataset_seed=dataset.seed,
             max_steps=max_steps,
+            sampler=sampler,
         )
         return interp.run(self.spec.entry)
 

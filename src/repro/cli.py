@@ -383,6 +383,81 @@ def _cmd_heat(args: argparse.Namespace) -> int:
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 1
+    if args.top_opcodes:
+        from repro.util.tables import Table
+        from repro.vm.costmodel import PPC405_COST_MODEL
+
+        counts = profile.opcode_counts(compiled.module)
+        cycles = profile.opcode_cycles(compiled.module, PPC405_COST_MODEL)
+        total = sum(cycles.values()) or 1.0
+        table = Table(
+            ["opcode", "dyn count", "virt cycles", "cycles %"],
+            title=f"Opcode rollup (top {args.top_opcodes})",
+        )
+        ranked = sorted(
+            counts, key=lambda op: (-cycles.get(op, 0.0), -counts[op], op)
+        )
+        for op in ranked[: args.top_opcodes]:
+            table.add_row(
+                [
+                    op,
+                    f"{counts[op]:,}",
+                    f"{cycles.get(op, 0.0):,.0f}",
+                    f"{100 * cycles.get(op, 0.0) / total:.1f}",
+                ]
+            )
+        print()
+        print(table.render())
+    return 0
+
+
+def _cmd_vmprof(args: argparse.Namespace) -> int:
+    import json as json_mod
+
+    from repro.obs.ledger import current_run
+    from repro.obs.vmprof import (
+        profile_app,
+        render_vmprof,
+        vm_manifest_block,
+        vmprof_json,
+    )
+
+    prof = profile_app(
+        args.app,
+        dataset=args.dataset,
+        sample_interval=args.sample,
+        calibrate=not args.no_calibrate,
+        max_candidates=args.candidates,
+    )
+    print(render_vmprof(prof, top=args.top))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json_mod.dump(vmprof_json(prof), fh, indent=2)
+            fh.write("\n")
+        print(f"\nwrote vmprof report: {args.json}")
+    recorder = current_run()
+    if recorder is not None:
+        recorder.attach_extra("vm", vm_manifest_block(prof))
+    return 0
+
+
+def _cmd_bench_vm(args: argparse.Namespace) -> int:
+    from repro.obs.bench import render_vm_bench, run_vm_bench
+
+    report = run_vm_bench(
+        apps=args.apps.split(",") if args.apps else None,
+        sample_interval=args.sample,
+        out=args.out,
+        pairs=args.pairs,
+    )
+    print(render_vm_bench(report))
+    if args.out:
+        print(f"\nwrote VM benchmark report: {args.out}")
+    if not report["totals"]["virtual_identical"]:
+        print(
+            "error: virtual clock drifted under sampling", file=sys.stderr
+        )
+        return 1
     return 0
 
 
@@ -1250,7 +1325,53 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.90,
         help="kernel time-coverage threshold (paper: 0.90)",
     )
+    p_heat.add_argument(
+        "--top-opcodes",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also print a dynamic opcode rollup (counts x cost model)",
+    )
     p_heat.set_defaults(fn=_cmd_heat)
+
+    p_vmprof = sub.add_parser(
+        "vmprof",
+        parents=[obs_options],
+        help="VM dispatch observatory: opcode profile, real-vs-virtual "
+        "divergence, superinstruction candidates",
+    )
+    p_vmprof.add_argument("app", help="application name, e.g. fft or adpcm")
+    p_vmprof.add_argument(
+        "--dataset", default=None, help="dataset name (default: train)"
+    )
+    p_vmprof.add_argument(
+        "--sample",
+        type=int,
+        default=64,
+        metavar="N",
+        help="real-clock sample interval in block executions "
+        "(0 disables sampling; default: 64)",
+    )
+    p_vmprof.add_argument(
+        "--top", type=int, default=12, help="rows per report table"
+    )
+    p_vmprof.add_argument(
+        "--candidates",
+        type=int,
+        default=10,
+        metavar="N",
+        help="superinstruction candidates to rank (default: 10)",
+    )
+    p_vmprof.add_argument(
+        "--no-calibrate",
+        action="store_true",
+        help="skip the dispatch-cost microbenchmark (no real-clock "
+        "estimates or savings)",
+    )
+    p_vmprof.add_argument(
+        "--json", metavar="FILE", default=None, help="write the full report"
+    )
+    p_vmprof.set_defaults(fn=_cmd_vmprof)
 
     p_fidelity = sub.add_parser(
         "fidelity",
@@ -1670,6 +1791,41 @@ def build_parser() -> argparse.ArgumentParser:
         "directory, removed afterwards)",
     )
     p_bench.set_defaults(fn=_cmd_bench, trace=None, metrics=False, log=None)
+
+    p_bench_vm = sub.add_parser(
+        "bench-vm",
+        parents=[obs_options],
+        help="benchmark the interpreter over the embedded suite "
+        "(BENCH_vm.json)",
+    )
+    p_bench_vm.add_argument(
+        "--apps",
+        metavar="A,B,...",
+        default=None,
+        help="comma-separated app subset (default: the embedded suite)",
+    )
+    p_bench_vm.add_argument(
+        "--sample",
+        type=int,
+        default=64,
+        metavar="N",
+        help="sampler interval for the overhead phase (default: 64)",
+    )
+    p_bench_vm.add_argument(
+        "--pairs",
+        type=int,
+        default=3,
+        metavar="N",
+        help="plain/sampled run pairs per app; the overhead is the median "
+        "paired ratio (default: 3)",
+    )
+    p_bench_vm.add_argument(
+        "--out",
+        metavar="FILE",
+        default="BENCH_vm.json",
+        help="report path (default: BENCH_vm.json)",
+    )
+    p_bench_vm.set_defaults(fn=_cmd_bench_vm)
 
     p_serve = sub.add_parser(
         "serve",

@@ -71,7 +71,9 @@ def fold_binary(op: Opcode, ty: Type, a, b):
             return math.inf if a > 0 else (-math.inf if a < 0 else math.nan)
         return a / b
     if op is Opcode.FREM:
-        if b == 0.0:
+        # C99 fmod: fmod(x, 0) and fmod(+-inf, y) are NaN; math.fmod
+        # raises a domain error on those instead.
+        if b == 0.0 or math.isinf(a):
             return math.nan
         return math.fmod(a, b)
     raise ValueError(f"not a foldable binary op: {op}")

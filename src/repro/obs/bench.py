@@ -22,6 +22,13 @@ Per phase we record the wall seconds, the ``cad.implementations`` counter
 Speedups are computed from the recorded wall times. On a single-core host
 the honest parallel speedup is ~1x — the cache speedup is the headline
 number there.
+
+:func:`run_vm_bench` is the interpreter-side sibling (``BENCH_vm.json``):
+per-app interpreter wall time, instructions/sec, dynamic opcode counts,
+top digrams, superinstruction candidates and the calibrated dispatch-cost
+table — the committed baseline the ROADMAP's dispatch-optimization work
+is measured against, with the PPC405 virtual clock checked bit-identical
+between the sampled and unsampled loops.
 """
 
 from __future__ import annotations
@@ -40,6 +47,10 @@ BENCH_SCHEMA = "repro-bench-parallel/1"
 
 #: Default report location, committed at the repository root.
 DEFAULT_BENCH_OUT = "BENCH_parallel.json"
+
+#: VM interpreter benchmark (repro bench-vm) schema + committed report.
+BENCH_VM_SCHEMA = "repro-bench-vm/1"
+DEFAULT_VM_BENCH_OUT = "BENCH_vm.json"
 
 
 def _phase(domain: str, jobs: int, backend: str, cache) -> dict:
@@ -125,6 +136,198 @@ def run_parallel_bench(
             json.dump(report, fh, indent=2)
             fh.write("\n")
     return report
+
+
+def run_vm_bench(
+    apps: list[str] | None = None,
+    sample_interval: int = 64,
+    out: str | os.PathLike | None = DEFAULT_VM_BENCH_OUT,
+    calibration_iters: int = 6000,
+    top_digrams_n: int = 10,
+    top_candidates: int = 10,
+    pairs: int = 3,
+) -> dict:
+    """Interpreter macro benchmark over the embedded suite (BENCH_vm.json).
+
+    Each app runs on its train set as *pairs* back-to-back (plain,
+    sampled) run pairs. Wall time is the min over the plain runs; the
+    sampler overhead is the **median of the per-pair ratios**, which
+    cancels the slow host drift that makes a difference of two
+    independent minima unusable on a shared machine. The PPC405 virtual
+    cycles of the two phases must be bit-identical — profiling may never
+    bend the virtual clock.
+    """
+    from repro.apps import EMBEDDED_APPS, compile_app, get_app
+    from repro.obs.vmprof import build_profile, top_digrams, vm_manifest_block
+    from repro.vm.costmodel import PPC405_COST_MODEL
+    from repro.vm.dispatchcost import measure_dispatch_costs
+    from repro.vm.profiler import BlockTimeSampler
+
+    if apps is None:
+        apps = [spec.name for spec in EMBEDDED_APPS]
+    dispatch = measure_dispatch_costs(iters=calibration_iters)
+
+    app_reports: dict[str, dict] = {}
+    all_identical = True
+    for name in apps:
+        spec = get_app(name)
+        compiled = compile_app(spec)
+
+        wall_plain = wall_sampled = float("inf")
+        ratios: list[float] = []
+        for _ in range(max(1, pairs)):
+            t0 = time.perf_counter()
+            plain = compiled.run(spec.train)
+            plain_wall = time.perf_counter() - t0
+
+            sampler = BlockTimeSampler(interval=sample_interval)
+            t0 = time.perf_counter()
+            sampled = compiled.run(spec.train, sampler=sampler)
+            sampled_wall = time.perf_counter() - t0
+
+            wall_plain = min(wall_plain, plain_wall)
+            wall_sampled = min(wall_sampled, sampled_wall)
+            ratios.append(sampled_wall / max(plain_wall, 1e-9))
+        ratios.sort()
+        median_ratio = ratios[len(ratios) // 2]
+
+        plain_cycles = plain.profile.total_cycles(
+            compiled.module, PPC405_COST_MODEL
+        )
+        sampled_cycles = sampled.profile.total_cycles(
+            compiled.module, PPC405_COST_MODEL
+        )
+        virtual_identical = plain_cycles == sampled_cycles
+        all_identical = all_identical and virtual_identical
+
+        prof = build_profile(
+            app=spec.name,
+            dataset=spec.train.name,
+            module=compiled.module,
+            profile=sampled.profile,
+            steps=sampled.steps,
+            wall_seconds=wall_plain,
+            sampler=sampler,
+            dispatch=dispatch,
+            max_candidates=top_candidates,
+        )
+        app_reports[spec.name] = {
+            "wall_seconds": round(wall_plain, 6),
+            "sampled_wall_seconds": round(wall_sampled, 6),
+            "sampler_overhead_pct": round(100.0 * (median_ratio - 1.0), 2),
+            "instructions": sampled.steps,
+            "instructions_per_second": round(
+                sampled.steps / max(wall_plain, 1e-9), 1
+            ),
+            "block_executions": prof.block_executions,
+            "virtual_cycles": plain_cycles,
+            "virtual_seconds": PPC405_COST_MODEL.seconds(plain_cycles),
+            "virtual_identical": virtual_identical,
+            "opcodes": dict(sorted(prof.opcode_counts.items())),
+            "top_digrams": {
+                "+".join(pair): count
+                for pair, count in top_digrams(prof, top_digrams_n)
+            },
+            "superinsn": [
+                {
+                    "sequence": candidate.name,
+                    "dynamic_count": candidate.dynamic_count,
+                    "static_sites": candidate.static_sites,
+                    "est_saved_ms": round(
+                        candidate.est_saved_seconds * 1e3, 3
+                    ),
+                }
+                for candidate in prof.candidates
+            ],
+        }
+        # Feed the current ledger run (if any): the vm block of the last
+        # profiled app wins, which is what the regress-vm single-app leg
+        # uses; multi-app wall data lives in this report instead.
+        from repro.obs.ledger import current_run
+
+        recorder = current_run()
+        if recorder is not None:
+            recorder.attach_extra("vm", vm_manifest_block(prof))
+
+    report = {
+        "schema": BENCH_VM_SCHEMA,
+        "generated": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "sample_interval": sample_interval,
+        "host": {
+            "cpus": os.cpu_count(),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "dispatch_cost": dispatch.to_dict(),
+        "apps": app_reports,
+        "totals": {
+            "wall_seconds": round(
+                sum(a["wall_seconds"] for a in app_reports.values()), 3
+            ),
+            "instructions": sum(
+                a["instructions"] for a in app_reports.values()
+            ),
+            "mean_sampler_overhead_pct": round(
+                sum(
+                    a["sampler_overhead_pct"] for a in app_reports.values()
+                )
+                / max(len(app_reports), 1),
+                2,
+            ),
+            "virtual_identical": all_identical,
+        },
+    }
+    if out is not None:
+        with open(out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+    return report
+
+
+def render_vm_bench(report: dict) -> str:
+    """ASCII rendering of a VM benchmark report for the CLI."""
+    from repro.util.tables import Table
+
+    table = Table(
+        columns=[
+            "app", "wall [s]", "M instr/s", "sampler ovh %", "virt clock",
+        ],
+        title=(
+            "VM interpreter benchmark "
+            f"(sample interval {report.get('sample_interval')})"
+        ),
+    )
+    for name, app in (report.get("apps") or {}).items():
+        table.add_row(
+            [
+                name,
+                f"{app.get('wall_seconds', 0.0):.2f}",
+                f"{app.get('instructions_per_second', 0.0) / 1e6:.2f}",
+                f"{app.get('sampler_overhead_pct', 0.0):+.1f}",
+                "identical" if app.get("virtual_identical") else "DRIFTED",
+            ]
+        )
+    lines = [table.render()]
+    dispatch = (report.get("dispatch_cost") or {}).get("classes_ns") or {}
+    if dispatch:
+        costs = ", ".join(
+            f"{name}={ns:.0f}ns"
+            for name, ns in sorted(dispatch.items(), key=lambda kv: -kv[1])[:5]
+        )
+        lines.append(f"dispatch cost (top classes): {costs}")
+    totals = report.get("totals") or {}
+    if totals:
+        lines.append(
+            f"total: {totals.get('wall_seconds', 0.0):.2f}s for "
+            f"{totals.get('instructions', 0):,} instructions; "
+            "virtual clock "
+            + (
+                "bit-identical under sampling"
+                if totals.get("virtual_identical")
+                else "DRIFTED under sampling"
+            )
+        )
+    return "\n".join(lines)
 
 
 def render_bench(report: dict) -> str:

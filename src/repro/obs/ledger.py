@@ -345,6 +345,7 @@ class RunRecorder:
     cache: dict | None = None
     serve: dict | None = None
     artifacts: dict = field(default_factory=dict)
+    extras: dict = field(default_factory=dict)
 
     @property
     def run_dir(self) -> Path:
@@ -374,6 +375,23 @@ class RunRecorder:
         if self.serve is None:
             self.serve = {}
         self.serve.update(summary)
+
+    def attach_extra(self, name: str, payload: dict) -> None:
+        """Attach a named top-level manifest block (e.g. ``vm``).
+
+        The manifest's key set is otherwise fixed; extras let subsystems
+        like the VM observatory persist their own block without widening
+        the recorder for each one. A reserved manifest key is rejected so
+        an extra can never shadow core evidence.
+        """
+        reserved = {
+            "schema", "run_id", "timestamp", "command", "argv", "config",
+            "git_rev", "environment", "status", "wall_seconds", "stages",
+            "metrics", "scalars", "fidelity", "cache", "serve", "artifacts",
+        }
+        if name in reserved:
+            raise ValueError(f"extra block name {name!r} is reserved")
+        self.extras[name] = payload
 
     def attach_fidelity(self, report) -> None:
         """Record a :class:`repro.obs.fidelity.FidelityReport`'s cells."""
@@ -453,6 +471,8 @@ class RunRecorder:
             "serve": _json_safe(self.serve),
             "artifacts": _json_safe(self.artifacts),
         }
+        for name, payload in self.extras.items():
+            manifest[name] = _json_safe(payload)
         manifest_path = self.run_dir / "manifest.json"
         with open(manifest_path, "w", encoding="utf-8") as fh:
             json.dump(manifest, fh, indent=2)

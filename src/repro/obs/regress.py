@@ -95,6 +95,18 @@ DEFAULT_TOLERANCES: tuple[tuple[str, float | None], ...] = (
     ("critpath.*", 1e-4),
     ("whatif.check.*", None),
     ("whatif.*", 1e-4),
+    # VM observatory (repro vmprof / bench-vm): opcode, digram and
+    # superinsn *counts* plus the virtual clock are deterministic and fall
+    # through to the exact catch-all — that is the bit-identical guarantee
+    # the dispatch-optimization work is gated on. Everything measured on
+    # the host clock (run wall time, calibrated dispatch-cost table,
+    # estimated savings, sampler attribution) is informational until
+    # --history noise bands promote it.
+    ("vm.wall_seconds", None),
+    ("vm.instructions_per_second", None),
+    ("vm.dispatch.*", None),
+    ("vm.*saved_ms", None),
+    ("vm.sampled.*", None),
     ("*", 1e-9),
 )
 
@@ -256,6 +268,12 @@ def flatten_cells(manifest: dict) -> dict[str, float]:
     # SLO block (attached post hoc by `repro slo`): generic numeric walk;
     # the objective-level alert kinds are strings and fall out naturally.
     walk("slo", manifest.get("slo") or {})
+
+    # VM observatory block (repro vmprof / repro bench-vm --ledger): the
+    # opcode/digram/superinsn counts and virtual clocks are deterministic
+    # and fall to the exact catch-all; the measured dispatch costs, wall
+    # clock and sampler stats carry vm.* info tolerances above.
+    walk("vm", manifest.get("vm") or {})
     return cells
 
 

@@ -115,6 +115,13 @@ class Memory:
     def _check(self, addr: int, nbytes: int) -> None:
         if addr < 8 or addr + nbytes > self.size:
             raise MemoryError_(f"access at {addr} ({nbytes} bytes) out of range")
+        # Natural alignment, as the PPC405 bus would require for scalars.
+        # Globals and allocas are 8-aligned and GEP scales by element size,
+        # so well-formed programs never trip this.
+        if nbytes > 1 and addr % nbytes:
+            raise MemoryError_(
+                f"misaligned {nbytes}-byte access at {addr}"
+            )
 
     def load(self, addr: int, ty: Type):
         fmt = _STRUCT_FMT[(ty.kind, ty.bits)]

@@ -90,9 +90,10 @@ int main() {
 }
 """
         module = compile_source(src, "oom").module
-        from repro.vm.memory import MemoryError_
 
-        with pytest.raises(MemoryError_, match="heap"):
+        # Memory faults surface as VMError: the interpreter translates
+        # MemoryError_ at the frame boundary so callers see one fault type.
+        with pytest.raises(VMError, match="heap"):
             Interpreter(module).run("main")
 
     def test_out_of_bounds_store(self):
@@ -105,9 +106,8 @@ int main() {
 }
 """
         module = compile_source(src, "oob").module
-        from repro.vm.memory import MemoryError_
 
-        with pytest.raises(MemoryError_):
+        with pytest.raises(VMError, match="out of range"):
             Interpreter(module, dataset_size=10**9).run("main")
 
     def test_null_deref(self):
@@ -118,9 +118,8 @@ int main() {
 }
 """
         module = compile_source(src, "null").module
-        from repro.vm.memory import MemoryError_
 
-        with pytest.raises(MemoryError_):
+        with pytest.raises(VMError, match="out of range"):
             Interpreter(module).run("main")
 
     def test_stack_overflow_from_runaway_recursion(self):
@@ -133,7 +132,6 @@ int down(int n) {
 int main() { return down(0); }
 """
         module = compile_source(src, "deeprec").module
-        from repro.vm.memory import MemoryError_
 
-        with pytest.raises((MemoryError_, RecursionError, VMError)):
+        with pytest.raises((RecursionError, VMError)):
             Interpreter(module).run("main")

@@ -1,8 +1,15 @@
 """Tests for the interpreter and profiler."""
 
+import math
+import random
+
 import pytest
 
 from repro.frontend import compile_source
+from repro.ir import F64, IRBuilder, Module
+from repro.ir.opcodes import FCmpPred, ICmpPred, Opcode
+from repro.ir.passes.constfold import fold_binary, fold_fcmp, fold_icmp
+from repro.ir.types import I1, I8, I32, I64
 from repro.vm import Interpreter, VMError
 from repro.vm.costmodel import PPC405_COST_MODEL
 from repro.vm.profiler import static_block_costs
@@ -108,6 +115,113 @@ class TestProfile:
         prof = Interpreter(module).run("sumsq", [6]).profile
         shares = prof.block_time_shares(module, PPC405_COST_MODEL)
         assert sum(shares.values()) == pytest.approx(1.0)
+
+
+def _binary_interp(op, ty):
+    """Interpreter over ``f(a, b) = op(a, b)`` for one opcode/type."""
+    m = Module("parity")
+    f = m.declare_function("f", ty, [("a", ty), ("b", ty)])
+    b = IRBuilder(f.add_block("entry"))
+    b.ret(b.binop(op, f.args[0], f.args[1]))
+    return Interpreter(m)
+
+
+def _int_operands(rng, ty, n=24):
+    lo, hi = -(1 << (ty.bits - 1)), (1 << (ty.bits - 1)) - 1
+    return [0, 1, -1, 2, lo, hi] + [rng.randint(lo, hi) for _ in range(n)]
+
+
+FLOAT_SPECIALS = [0.0, -0.0, 1.0, -1.0, math.inf, -math.inf, math.nan, 1e-300, 1e300]
+
+
+def _float_operands(rng, n=24):
+    return FLOAT_SPECIALS + [rng.uniform(-1e6, 1e6) for _ in range(n)]
+
+
+def _same(x, y) -> bool:
+    if isinstance(x, float) and math.isnan(x):
+        return isinstance(y, float) and math.isnan(y)
+    return x == y
+
+
+class TestConstfoldParity:
+    """The interpreter inlines its hot arithmetic handlers (wrapping add/
+    sub/mul, bitwise ops, the common icmp predicates) instead of calling
+    the constfold evaluators. Randomized operands pin the two
+    implementations against each other: folding a constant expression at
+    compile time and executing it at run time must agree bit-for-bit,
+    otherwise optimization level changes program output.
+    """
+
+    DIV_OPS = (Opcode.SDIV, Opcode.UDIV, Opcode.SREM, Opcode.UREM)
+    INT_OPS = (
+        Opcode.ADD, Opcode.SUB, Opcode.MUL,
+        Opcode.AND, Opcode.OR, Opcode.XOR,
+        Opcode.SHL, Opcode.LSHR, Opcode.ASHR,
+    ) + DIV_OPS
+    FLOAT_OPS = (Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV, Opcode.FREM)
+
+    @pytest.mark.parametrize("ty", [I8, I32, I64], ids=str)
+    @pytest.mark.parametrize("op", INT_OPS, ids=lambda o: o.value)
+    def test_int_binary_matches_fold(self, op, ty):
+        rng = random.Random(f"{op.value}/{ty.bits}")
+        interp = _binary_interp(op, ty)
+        vals = _int_operands(rng, ty)
+        for _ in range(40):
+            a, b = rng.choice(vals), rng.choice(vals)
+            if op in self.DIV_OPS and b == 0:
+                continue
+            executed = interp.run("f", [a, b]).return_value
+            folded = fold_binary(op, ty, a, b)
+            assert executed == folded, f"{op.value} {ty}: {a}, {b}"
+
+    @pytest.mark.parametrize("op", DIV_OPS, ids=lambda o: o.value)
+    def test_division_by_zero_traps_not_folds(self, op):
+        from repro.ir.passes.constfold import ConstantFoldError
+
+        with pytest.raises(ConstantFoldError):
+            fold_binary(op, I32, 7, 0)
+        with pytest.raises(VMError, match="zero"):
+            _binary_interp(op, I32).run("f", [7, 0])
+
+    @pytest.mark.parametrize("op", FLOAT_OPS, ids=lambda o: o.value)
+    def test_float_binary_matches_fold(self, op):
+        rng = random.Random(op.value)
+        interp = _binary_interp(op, F64)
+        vals = _float_operands(rng)
+        for _ in range(40):
+            a, b = rng.choice(vals), rng.choice(vals)
+            executed = interp.run("f", [a, b]).return_value
+            folded = fold_binary(op, F64, a, b)
+            assert _same(executed, folded), f"{op.value}: {a}, {b}"
+
+    @pytest.mark.parametrize("pred", list(ICmpPred), ids=lambda p: p.value)
+    def test_icmp_matches_fold(self, pred):
+        rng = random.Random(pred.value)
+        m = Module("parity")
+        f = m.declare_function("f", I1, [("a", I32), ("b", I32)])
+        b = IRBuilder(f.add_block("entry"))
+        b.ret(b.icmp(pred, f.args[0], f.args[1]))
+        interp = Interpreter(m)
+        vals = _int_operands(rng, I32)
+        for _ in range(40):
+            a, c = rng.choice(vals), rng.choice(vals)
+            executed = interp.run("f", [a, c]).return_value
+            assert executed == fold_icmp(pred, I32, a, c), f"{pred.value}: {a}, {c}"
+
+    @pytest.mark.parametrize("pred", list(FCmpPred), ids=lambda p: p.value)
+    def test_fcmp_matches_fold(self, pred):
+        rng = random.Random(pred.value)
+        m = Module("parity")
+        f = m.declare_function("f", I1, [("a", F64), ("b", F64)])
+        b = IRBuilder(f.add_block("entry"))
+        b.ret(b.fcmp(pred, f.args[0], f.args[1]))
+        interp = Interpreter(m)
+        vals = _float_operands(rng)
+        for _ in range(40):
+            a, c = rng.choice(vals), rng.choice(vals)
+            executed = interp.run("f", [a, c]).return_value
+            assert executed == fold_fcmp(pred, a, c), f"{pred.value}: {a}, {c}"
 
 
 class TestCostModel:

@@ -2,8 +2,10 @@
 
 import pytest
 
+from repro.ir import IRBuilder, Module
 from repro.ir.types import F32, F64, I8, I16, I32, I64, PTR
 from repro.ir.values import GlobalVariable
+from repro.vm import Interpreter, VMError
 from repro.vm.memory import Memory, MemoryError_
 
 
@@ -117,3 +119,74 @@ class TestStackAndHeap:
         mem.alloca(3)
         addr = mem.alloca(8)
         assert addr % 8 == 0
+
+
+class TestErrorPaths:
+    """Every fault class raises MemoryError_ with a diagnosable message."""
+
+    def test_misaligned_load(self):
+        mem = make_memory()
+        addr = mem.alloca(16)  # 8-aligned
+        with pytest.raises(MemoryError_, match="misaligned 4-byte"):
+            mem.load(addr + 1, I32)
+
+    def test_misaligned_store(self):
+        mem = make_memory()
+        addr = mem.alloca(16)
+        with pytest.raises(MemoryError_, match="misaligned 8-byte"):
+            mem.store(addr + 4, I64, 1)
+        with pytest.raises(MemoryError_, match="misaligned 2-byte"):
+            mem.store(addr + 3, I16, 1)
+
+    def test_byte_access_never_misaligned(self):
+        mem = make_memory()
+        addr = mem.alloca(16)
+        mem.store(addr + 3, I8, 7)
+        assert mem.load(addr + 3, I8) == 7
+
+    def test_naturally_aligned_access_passes(self):
+        mem = make_memory()
+        addr = mem.alloca(16)
+        mem.store(addr + 4, I32, 9)
+        assert mem.load(addr + 4, I32) == 9
+
+    def test_oob_store_past_end(self):
+        mem = make_memory()
+        with pytest.raises(MemoryError_, match="out of range"):
+            mem.store(mem.size - 2, I32, 1)  # aligned start, 2 bytes past end
+
+    def test_oob_load_past_end(self):
+        mem = make_memory()
+        with pytest.raises(MemoryError_, match="out of range"):
+            mem.load(mem.size, I8)
+
+    def test_heap_oom_message_names_request(self):
+        mem = make_memory()
+        with pytest.raises(MemoryError_, match=r"heap exhausted \(requested"):
+            mem.malloc(mem.size)
+
+
+class TestInterpreterFaultTranslation:
+    """Memory faults escaping a call frame surface as VMError (with the
+    function name), never as a raw MemoryError_."""
+
+    @staticmethod
+    def _faulting_module(elem_size: int, index: int) -> Module:
+        """fault() loads an I32 through ``gep(buf, index, elem_size)``."""
+        m = Module("fault")
+        m.add_global("buf", I8, 16, [0] * 16)
+        f = m.declare_function("fault", I32, [])
+        b = IRBuilder(f.add_block("entry"))
+        p = b.gep(m.globals["buf"], b.i32(index), elem_size)
+        b.ret(b.load(I32, p))
+        return m
+
+    def test_misaligned_access_becomes_vmerror(self):
+        module = self._faulting_module(elem_size=1, index=1)  # buf+1, 4 bytes
+        with pytest.raises(VMError, match="fault: misaligned 4-byte"):
+            Interpreter(module).run("fault")
+
+    def test_out_of_bounds_access_becomes_vmerror(self):
+        module = self._faulting_module(elem_size=8, index=1 << 24)
+        with pytest.raises(VMError, match="fault: .*out of range"):
+            Interpreter(module).run("fault")
