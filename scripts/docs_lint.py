@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Documentation lint for the reproduction tree.
 
-Three checks, all enforced by ``make docs-lint`` (and the CI lint job):
+Four checks, all enforced by ``make docs-lint`` (and the CI lint job):
 
 1. every Python module under ``src/repro/`` carries a non-empty module
    docstring that names its paper anchor — a Section/Table/Figure
@@ -10,7 +10,17 @@ Three checks, all enforced by ``make docs-lint`` (and the CI lint job):
 2. every relative markdown link in the top-level docs (README.md,
    DESIGN.md, EXPERIMENTS.md, ROADMAP.md, docs/*.md) resolves to an
    existing file;
-3. README.md links the architecture tour (docs/ARCHITECTURE.md).
+3. README.md links the architecture tour (docs/ARCHITECTURE.md) and the
+   dispatch architecture guide (docs/VM.md);
+4. every ``python -m repro`` subcommand registered in ``src/repro/cli.py``
+   appears in the README's command table — a new subcommand without a
+   README row fails the lint.
+
+The subcommand check is AST-based (no ``repro`` import: the CI lint job
+installs no third-party packages, and ``repro`` pulls numpy/networkx),
+so it understands both registration idioms used in ``cli.py``: direct
+``sub.add_parser("name", ...)`` calls and the loop form
+``for name, ... in (("jit", ...), ...): sub.add_parser(name, ...)``.
 
 Exits non-zero listing every violation.
 """
@@ -82,13 +92,76 @@ def check_architecture_link() -> list[str]:
     readme = REPO / "README.md"
     if not readme.is_file():
         return ["README.md: missing"]
-    if "docs/ARCHITECTURE.md" not in readme.read_text(encoding="utf-8"):
-        return ["README.md: does not link docs/ARCHITECTURE.md"]
-    return []
+    text = readme.read_text(encoding="utf-8")
+    problems = []
+    for target in ("docs/ARCHITECTURE.md", "docs/VM.md"):
+        if target not in text:
+            problems.append(f"README.md: does not link {target}")
+    return problems
+
+
+def _is_sub_add_parser(node: ast.AST) -> bool:
+    """True for a ``sub.add_parser(...)`` call (top-level subcommands only;
+    nested subparsers hang off ``runs_sub`` / ``cache_sub``)."""
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "add_parser"
+        and isinstance(node.func.value, ast.Name)
+        and node.func.value.id == "sub"
+    )
+
+
+def cli_subcommands() -> set[str]:
+    """Every top-level ``python -m repro`` subcommand name in cli.py."""
+    tree = ast.parse((SRC / "cli.py").read_text(encoding="utf-8"))
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        # Idiom 1: sub.add_parser("analyze", ...)
+        if _is_sub_add_parser(node) and node.args:
+            arg = node.args[0]
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                names.add(arg.value)
+        # Idiom 2: for name, ... in (("jit", ...), ("timeline", ...)):
+        #              sub.add_parser(name, ...)
+        if isinstance(node, ast.For) and any(
+            _is_sub_add_parser(call) for call in ast.walk(node)
+        ):
+            if isinstance(node.iter, (ast.Tuple, ast.List)):
+                for elt in node.iter.elts:
+                    if isinstance(elt, (ast.Tuple, ast.List)) and elt.elts:
+                        first = elt.elts[0]
+                        if isinstance(first, ast.Constant) and isinstance(
+                            first.value, str
+                        ):
+                            names.add(first.value)
+    return names
+
+
+def check_cli_coverage() -> list[str]:
+    """Every CLI subcommand must appear in the README command table."""
+    readme = REPO / "README.md"
+    if not readme.is_file():
+        return ["README.md: missing"]
+    text = readme.read_text(encoding="utf-8")
+    problems: list[str] = []
+    for name in sorted(cli_subcommands()):
+        # `repro bench` must not be satisfied by the `repro bench-vm` row.
+        if not re.search(rf"repro {re.escape(name)}(?![\w-])", text):
+            problems.append(
+                f"README.md: command table has no row for "
+                f"`python -m repro {name}`"
+            )
+    return problems
 
 
 def main() -> int:
-    problems = check_docstrings() + check_links() + check_architecture_link()
+    problems = (
+        check_docstrings()
+        + check_links()
+        + check_architecture_link()
+        + check_cli_coverage()
+    )
     for problem in problems:
         print(problem)
     if problems:

@@ -192,6 +192,63 @@ class TestSuperInsnMiner:
                     if c.name in joined:
                         assert c.dynamic_count > longer.dynamic_count
 
+    def _patch_body_with_custom(self, module):
+        """Splice a CUSTOM into the sumsq body, patcher-style."""
+        from repro.ir.instructions import Instruction
+        from repro.ir.types import I32
+
+        body = next(
+            b
+            for b in module.function("sumsq").blocks
+            if b.name == "body"
+        )
+        custom = Instruction(
+            Opcode.CUSTOM, I32, [body.instructions[0]], "c", custom_id=1
+        )
+        body.insert(1, custom)
+        return body
+
+    def test_stale_profile_skips_patched_blocks(self):
+        # Regression: a profile recorded *before* the patcher rewrites a
+        # block must not be mined against the rewritten composition — the
+        # counts would attach to windows (adjacencies across the patch
+        # seam) that never executed together.
+        module = build_sumsq_module()
+        profile = Interpreter(module).run("sumsq", [50]).profile
+        before = mine_superinsns(module, profile, 1e-7)
+        assert any("load+mul" in c.name for c in before)
+
+        self._patch_body_with_custom(module)
+        stale = mine_superinsns(module, profile, 1e-7)
+        # The modified body contributes nothing; the untouched loop block
+        # still mines normally.
+        assert all("load+mul" not in c.name for c in stale)
+        assert ("load", "icmp") in {c.sequence for c in stale}
+        composition = static_block_opcodes(module)
+        untouched = {
+            key for key, ops in composition.items() if "custom" not in ops
+        }
+        for c in stale:
+            assert any(
+                "+".join(c.sequence) in "+".join(composition[key])
+                for key in untouched
+            )
+
+    def test_fresh_profile_never_mines_across_custom(self):
+        # Re-profiled after patching, the CUSTOM acts as a hard barrier:
+        # no candidate contains it or spans the seam it sits on.
+        module = build_sumsq_module()
+        self._patch_body_with_custom(module)
+        interp = Interpreter(module)
+        interp.custom_evaluators[1] = lambda vals: vals[0]
+        profile = interp.run("sumsq", [50]).profile
+        fresh = mine_superinsns(module, profile, 1e-7)
+        assert fresh  # the patched block's remaining runs still mine
+        # The seam (load|CUSTOM|mul) never yields a load+mul window.
+        assert all("load+mul" not in c.name for c in fresh)
+        for c in fresh:
+            assert "custom" not in c.sequence
+
 
 class TestVmProfileReports:
     @pytest.fixture(scope="class")
@@ -300,3 +357,22 @@ class TestVmBench:
         assert app["opcodes"] and app["top_digrams"] and app["superinsn"]
         assert report["totals"]["virtual_identical"] is True
         assert report["dispatch_cost"]["classes_ns"]
+
+    def test_run_vm_bench_fused_phase(self, tmp_path):
+        from repro.obs.bench import run_vm_bench
+
+        report = run_vm_bench(
+            apps=["sor"],
+            out=tmp_path / "BENCH_vm.json",
+            calibration_iters=300,
+            pairs=1,
+            fuse=8,
+        )
+        fused = report["apps"]["sor"]["fused"]
+        assert fused["virtual_identical"] is True
+        assert fused["sites"] > 0
+        assert fused["dispatches_removed"] > 0
+        assert fused["sequences"]
+        totals = report["totals"]
+        assert totals["fused_virtual_identical"] is True
+        assert totals["fused_speedup"] > 0
