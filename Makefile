@@ -10,7 +10,7 @@ JOBS ?= 1
 FUSE ?=
 FUSE_FLAG := $(if $(FUSE),--fuse,)
 
-.PHONY: test trace-smoke fidelity tables regress regress-serve regress-vm docs-lint bench-parallel bench-vm whatif-smoke serve-smoke bench-serve slo-smoke
+.PHONY: test trace-smoke fidelity tables regress regress-serve regress-vm regress-mix docs-lint bench-parallel bench-vm bench-mix whatif-smoke serve-smoke bench-serve slo-smoke
 
 # Tier-1 verification: the full test suite.
 test:
@@ -99,6 +99,26 @@ regress-vm:
 	$(PYTHON) -m repro vmprof adpcm --ledger $(FUSE_FLAG)
 	$(PYTHON) -m repro runs list --limit 5
 	$(PYTHON) -m repro regress --baseline latest~1 --history 5
+
+# Fleet workload-mix benchmark: sweep eviction policy x slot capacity x
+# mix entropy through the slot-contention simulator and rewrite
+# BENCH_mix.json — the committed "Table IV for fleets". Exits non-zero
+# if break-even-aware eviction does not beat LRU on the contended cell
+# or the identical-seed determinism rerun drifts.
+bench-mix:
+	$(PYTHON) -m repro mix --out BENCH_mix.json
+
+# Mix regression leg: record two identical mix runs in the ledger and
+# gate the second against the first — every simulated cell (break-even,
+# loads, reloads, evictions, store hits) is virtual-clock deterministic
+# and must reproduce bit-identically (rel 1e-9); only the profile/grid
+# wall-time cells stay informational (`mix.*` tolerances in
+# repro.obs.regress).
+regress-mix:
+	$(PYTHON) -m repro mix --events 60 --out /dev/null --ledger
+	$(PYTHON) -m repro mix --events 60 --out /dev/null --ledger
+	$(PYTHON) -m repro runs list --limit 5
+	$(PYTHON) -m repro regress --baseline latest~1
 
 # Serve regression leg: record two identical load-generation runs in the
 # ledger, then gate the second against the first — the deterministic

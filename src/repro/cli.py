@@ -33,7 +33,13 @@ Commands:
 - ``whatif RUN`` — replay a recorded run under hypothetical knobs (cache
   hit rate, CAD speedups, parallel CAD workers); ``--grid`` regenerates
   the Table IV grid from measured spans and cross-checks it against the
-  analytic model;
+  analytic model; ``--slots N`` / ``--policy P`` instead replay a
+  recorded fleet-mix run under different slot counts or eviction
+  policies;
+- ``mix`` — sweep the fleet workload-mix grid (mix entropy x eviction
+  policy x slot capacity) through the slot-contention simulator and
+  write ``BENCH_mix.json``, exiting non-zero if break-even-aware
+  eviction fails to beat LRU on the contended mix;
 - ``cache stats|clear`` — inspect or empty the persistent bitstream cache
   (``.repro-cache/``, Section VI-A);
 - ``bench`` — measure the parallel runner and the persistent cache against
@@ -605,10 +611,57 @@ def _parse_speedup_specs(specs: list[str]) -> tuple[float, tuple]:
     return uniform, tuple(per_stage)
 
 
+def _cmd_whatif_mix(args: argparse.Namespace) -> int:
+    """``repro whatif --slots/--policy``: replay a recorded fleet mix."""
+    from repro.obs import whatif as wi
+    from repro.obs.ledger import RunLedger
+
+    ledger = RunLedger(args.ledger_dir)
+    try:
+        run_id = ledger.resolve(args.run)
+    except LookupError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    manifest = ledger.load(run_id)
+    mix_block = manifest.get("mix")
+    if not mix_block:
+        print(
+            f"error: run {run_id} has no mix block "
+            "(record one with `repro mix --ledger`)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        report = wi.whatif_mix(
+            mix_block, slots=args.slots, policy=args.policy
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"run {run_id}: fleet-mix what-if replay")
+    print()
+    print(wi.render_whatif_mix(report))
+    status = 0
+    if not report["identity"]["identical"]:
+        print(
+            "FAIL: replaying a recorded cell no longer reproduces the "
+            "manifest's fleet break-even (simulation drift)",
+            file=sys.stderr,
+        )
+        status = 1
+    if not args.no_save:
+        path = ledger.attach_block(run_id, "whatif", {"mix": report})
+        print(f"\nattached whatif block to {path}")
+    return status
+
+
 def _cmd_whatif(args: argparse.Namespace) -> int:
     import json
 
     from repro.obs import whatif as wi
+
+    if args.slots is not None or args.policy is not None:
+        return _cmd_whatif_mix(args)
 
     resolved = _resolve_run_replay(args)
     if isinstance(resolved, int):
@@ -1150,6 +1203,61 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         )
         return 1
     return 0
+
+
+def _cmd_mix(args: argparse.Namespace) -> int:
+    from repro.obs.bench import render_mix_bench, run_mix_bench
+
+    presets = tuple(p.strip() for p in args.presets.split(",") if p.strip())
+    policies = tuple(p.strip() for p in args.policies.split(",") if p.strip())
+    try:
+        capacities = tuple(
+            int(c) for c in args.slots.split(",") if c.strip()
+        )
+    except ValueError as exc:
+        print(f"error: invalid --slots: {exc}", file=sys.stderr)
+        return 2
+    if not presets or not policies or not capacities:
+        print(
+            "error: need at least one preset, policy and slot count",
+            file=sys.stderr,
+        )
+        return 2
+    if any(c < 1 for c in capacities):
+        print("error: slot counts must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        report = run_mix_bench(
+            presets=presets,
+            policies=policies,
+            capacities=capacities,
+            events=args.events,
+            seed=args.seed,
+            out=args.out,
+            store_root=args.store,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_mix_bench(report))
+    if args.out:
+        print(f"\nwrote fleet-mix benchmark report: {args.out}")
+    status = 0
+    if not report["determinism"]["bit_identical"]:
+        print(
+            "FAIL: re-simulating the contended cell from identical inputs "
+            "did not reproduce bit-identically",
+            file=sys.stderr,
+        )
+        status = 1
+    if report["gate"]["breakeven_beats_lru"] is False:
+        print(
+            "FAIL: break-even-aware eviction does not beat LRU on the "
+            "contended mix (fleet break-even regressed)",
+            file=sys.stderr,
+        )
+        status = 1
+    return status
 
 
 def _cmd_top(args: argparse.Namespace) -> int:
@@ -1756,6 +1864,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the cross-checked grid as a JSON artifact (with --grid)",
     )
     p_whatif.add_argument(
+        "--slots",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fleet-mix replay: re-simulate the run's recorded mixes with "
+        "N custom-instruction slots (needs a `repro mix --ledger` run)",
+    )
+    p_whatif.add_argument(
+        "--policy",
+        choices=["lru", "lfu", "breakeven"],
+        default=None,
+        help="fleet-mix replay: re-simulate the run's recorded mixes "
+        "under this eviction policy",
+    )
+    p_whatif.add_argument(
         "--no-save",
         action="store_true",
         help="do not attach the whatif block to the run's manifest",
@@ -2032,6 +2155,55 @@ def build_parser() -> argparse.ArgumentParser:
         "removed afterwards, so the cold phase is genuinely cold)",
     )
     p_loadgen.set_defaults(fn=_cmd_loadgen)
+
+    p_mix = sub.add_parser(
+        "mix",
+        parents=[obs_options],
+        help="sweep the fleet workload-mix grid (entropy x eviction policy "
+        "x slot count) and write BENCH_mix.json",
+    )
+    p_mix.add_argument(
+        "--presets",
+        metavar="NAME,NAME",
+        default="uniform,skewed",
+        help="mix presets to replay (default: uniform,skewed)",
+    )
+    p_mix.add_argument(
+        "--policies",
+        metavar="P,P",
+        default="lru,lfu,breakeven",
+        help="eviction policies to sweep (default: lru,lfu,breakeven)",
+    )
+    p_mix.add_argument(
+        "--slots",
+        metavar="N,N",
+        default="4,8,16",
+        help="slot capacities to sweep (default: 4,8,16)",
+    )
+    p_mix.add_argument(
+        "--events",
+        type=int,
+        default=120,
+        metavar="N",
+        help="invocations per trace (default: 120)",
+    )
+    p_mix.add_argument(
+        "--seed", type=int, default=0, help="trace seed (default: 0)"
+    )
+    p_mix.add_argument(
+        "--out",
+        metavar="FILE",
+        default="BENCH_mix.json",
+        help="report path (default: BENCH_mix.json; use /dev/null to skip)",
+    )
+    p_mix.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="fleet store root for the cells (default: a temporary "
+        "directory, removed afterwards, so every cell starts cold)",
+    )
+    p_mix.set_defaults(fn=_cmd_mix)
 
     p_top = sub.add_parser(
         "top", help="live ASCII view of a running specialization daemon"

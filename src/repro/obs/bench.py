@@ -470,3 +470,310 @@ def render_bench(report: dict) -> str:
             + ", ".join(f"{k}={v}x" for k, v in speedups.items())
         )
     return "\n".join(lines)
+
+# -- fleet workload-mix benchmark (repro mix) --------------------------------
+
+#: Fleet-mix grid benchmark (repro mix) schema + committed report.
+BENCH_MIX_SCHEMA = "repro-bench-mix/1"
+DEFAULT_MIX_BENCH_OUT = "BENCH_mix.json"
+
+#: Default grid axes: >=2 entropies x >=3 policies x >=3 slot counts.
+DEFAULT_MIX_PRESETS = ("uniform", "skewed")
+DEFAULT_MIX_POLICIES = ("lru", "lfu", "breakeven")
+DEFAULT_MIX_CAPACITIES = (4, 8, 16)
+
+
+def _mix_cell_key(capacity: int) -> str:
+    return f"c{capacity:02d}"
+
+
+def mix_manifest_block(report: dict) -> dict:
+    """The nested-dict ``mix`` block a ledger manifest carries.
+
+    Dicts all the way down (the regression sentinel's flattener walks
+    dicts, not lists): ``mix.cells.<preset>.<policy>.c<NN>.<metric>``.
+    Virtual-clock cells compare at 1e-9; ``wall_seconds`` and the
+    profile-building ``search`` times are informational.
+    """
+    block: dict = {
+        "events": report["events"],
+        "seed": report["seed"],
+        "entropy": dict(report["entropy"]),
+        "gate": {
+            "breakeven_beats_lru": report["gate"]["breakeven_beats_lru"],
+            "contended_preset": report["gate"]["contended"]["preset"],
+            "contended_capacity": report["gate"]["contended"]["capacity"],
+        },
+        "wall_seconds": report["wall_seconds"],
+        "cells": {},
+    }
+    for preset, policies in report["cells"].items():
+        for policy, caps in policies.items():
+            for ckey, cell in caps.items():
+                dest = (
+                    block["cells"]
+                    .setdefault(preset, {})
+                    .setdefault(policy, {})
+                    .setdefault(ckey, {})
+                )
+                dest["fleet_break_even_seconds"] = cell[
+                    "fleet_break_even_seconds"
+                ]
+                dest["mean_occupancy_pct"] = cell["mean_occupancy_pct"]
+                slots = cell["slots"]
+                dest["slot_loads"] = slots["loads"]
+                dest["slot_reloads"] = slots["reloads"]
+                dest["slot_evictions"] = slots["evictions"]
+                store = cell["store"]
+                dest["store_hits"] = store["hits"]
+                dest["store_misses"] = store["misses"]
+                dest["cross_app_hits"] = store["cross_app_hits"]
+    return block
+
+
+def run_mix_bench(
+    presets=DEFAULT_MIX_PRESETS,
+    policies=DEFAULT_MIX_POLICIES,
+    capacities=DEFAULT_MIX_CAPACITIES,
+    events: int = 120,
+    seed: int = 0,
+    out: str | os.PathLike | None = DEFAULT_MIX_BENCH_OUT,
+    store_root: str | os.PathLike | None = None,
+    apps=None,
+) -> dict:
+    """Sweep the fleet grid (mix entropy x policy x slot count).
+
+    Specialization profiles are built once (the only measured wall time
+    that matters); every grid cell then replays the preset's trace on the
+    virtual clock against a cold per-cell fleet store, so identical
+    (presets, policies, capacities, events, seed) inputs reproduce every
+    deterministic cell bit-identically. The *contended* cell — the
+    (preset, capacity) pair where plain LRU evicts most — gates the
+    break-even-aware policy: it must strictly beat LRU there, or the
+    report says so and ``repro mix`` exits non-zero.
+    """
+    from repro.mix.profiles import DEFAULT_APPS, build_app_profiles
+    from repro.mix.simulator import simulate_cell
+    from repro.mix.trace import (
+        build_trace,
+        empirical_entropy,
+        mix_entropy,
+        preset_config,
+    )
+
+    apps = tuple(apps) if apps else DEFAULT_APPS
+    t0 = time.perf_counter()
+    profiles = build_app_profiles(apps)
+    profile_wall = time.perf_counter() - t0
+
+    owns_store = store_root is None
+    if owns_store:
+        store_root = tempfile.mkdtemp(prefix="repro-mix-store-")
+    store_root = os.fspath(store_root)
+
+    traces = {}
+    entropy = {}
+    for preset in presets:
+        config = preset_config(preset, events=events, seed=seed)
+        traces[preset] = build_trace(config)
+        entropy[preset] = {
+            "configured": round(mix_entropy(config.mix), 9),
+            "empirical": round(empirical_entropy(traces[preset]), 9),
+        }
+
+    def run_cell(preset: str, policy: str, capacity: int) -> dict:
+        cell_root = os.path.join(
+            store_root, f"{preset}-{policy}-{capacity}"
+        )
+        return simulate_cell(
+            profiles,
+            traces[preset],
+            policy,
+            capacity,
+            cell_root,
+            mix_name=preset,
+        ).as_dict()
+
+    t1 = time.perf_counter()
+    cells: dict = {}
+    try:
+        for preset in presets:
+            for policy in policies:
+                for capacity in capacities:
+                    cells.setdefault(preset, {}).setdefault(policy, {})[
+                        _mix_cell_key(capacity)
+                    ] = run_cell(preset, policy, capacity)
+
+        # Contended cell: the (preset, capacity) pair where plain LRU
+        # evicts most — deterministic, so the gate targets the same cell
+        # on every host.
+        contended = None
+        if "lru" in policies:
+            best = (-1, "", 0)
+            for preset in presets:
+                for capacity in capacities:
+                    evictions = cells[preset]["lru"][_mix_cell_key(capacity)][
+                        "slots"
+                    ]["evictions"]
+                    if evictions > best[0]:
+                        best = (evictions, preset, capacity)
+            if best[0] > 0:
+                contended = {
+                    "preset": best[1],
+                    "capacity": best[2],
+                    "lru_evictions": best[0],
+                }
+
+        gate = {"breakeven_beats_lru": None, "contended": contended}
+        if contended is not None and "breakeven" in policies:
+            ckey = _mix_cell_key(contended["capacity"])
+            lru_be = cells[contended["preset"]]["lru"][ckey][
+                "fleet_break_even_seconds"
+            ]
+            be_be = cells[contended["preset"]]["breakeven"][ckey][
+                "fleet_break_even_seconds"
+            ]
+            gate["lru_break_even_seconds"] = lru_be
+            gate["breakeven_break_even_seconds"] = be_be
+            gate["breakeven_beats_lru"] = (
+                lru_be is not None and be_be is not None and be_be < lru_be
+            )
+
+        # Determinism self-check: re-simulate the contended (or first)
+        # cell from the same frozen inputs and require bit-identity.
+        check_preset = contended["preset"] if contended else presets[0]
+        check_capacity = contended["capacity"] if contended else capacities[0]
+        check_policy = policies[0]
+        rerun_root = os.path.join(store_root, "determinism-rerun")
+        rerun = simulate_cell(
+            profiles,
+            traces[check_preset],
+            check_policy,
+            check_capacity,
+            rerun_root,
+            mix_name=check_preset,
+        ).as_dict()
+        first = cells[check_preset][check_policy][_mix_cell_key(check_capacity)]
+        determinism = {
+            "cell": {
+                "preset": check_preset,
+                "policy": check_policy,
+                "capacity": check_capacity,
+            },
+            "bit_identical": json.dumps(rerun, sort_keys=True)
+            == json.dumps(first, sort_keys=True),
+        }
+    finally:
+        if owns_store:
+            shutil.rmtree(store_root, ignore_errors=True)
+
+    grid_wall = time.perf_counter() - t1
+    report = {
+        "schema": BENCH_MIX_SCHEMA,
+        "generated": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "host": {
+            "cpus": os.cpu_count(),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "apps": list(apps),
+        "presets": list(presets),
+        "policies": list(policies),
+        "capacities": list(capacities),
+        "events": events,
+        "seed": seed,
+        "entropy": entropy,
+        "profile": {
+            "wall_seconds": round(profile_wall, 3),
+            "search_seconds": {
+                name: round(p.search_seconds, 3) for name, p in profiles.items()
+            },
+            "configurations": {
+                name: len(p.candidates) for name, p in profiles.items()
+            },
+        },
+        "cells": cells,
+        "gate": gate,
+        "determinism": determinism,
+        "wall_seconds": round(profile_wall + grid_wall, 3),
+    }
+    if out is not None:
+        with open(out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+
+    from repro.obs.ledger import current_run
+
+    recorder = current_run()
+    if recorder is not None:
+        recorder.attach_extra("mix", mix_manifest_block(report))
+    return report
+
+
+def render_mix_bench(report: dict) -> str:
+    """Human-readable fleet-grid table for the ``repro mix`` CLI."""
+    from repro.util.tables import Table
+
+    table = Table(
+        columns=[
+            "mix",
+            "H",
+            "policy",
+            "slots",
+            "occ%",
+            "loads",
+            "reloads",
+            "evict",
+            "store-hit%",
+            "xapp",
+            "fleet-BE(s)",
+        ],
+        title="Fleet workload-mix grid (break-even vs policy vs capacity)",
+    )
+    for preset, policies in report["cells"].items():
+        h = report["entropy"][preset]["configured"]
+        for policy, caps in policies.items():
+            for ckey in sorted(caps):
+                cell = caps[ckey]
+                slots = cell["slots"]
+                store = cell["store"]
+                lookups = store["hits"] + store["misses"]
+                hit_pct = 100.0 * store["hits"] / lookups if lookups else 0.0
+                be = cell["fleet_break_even_seconds"]
+                table.add_row(
+                    [
+                        preset,
+                        f"{h:.2f}",
+                        policy,
+                        cell["capacity"],
+                        f"{cell['mean_occupancy_pct']:.1f}",
+                        slots["loads"],
+                        slots["reloads"],
+                        slots["evictions"],
+                        f"{hit_pct:.1f}",
+                        store["cross_app_hits"],
+                        f"{be:.1f}" if be is not None else "-",
+                    ]
+                )
+    lines = [table.render()]
+    gate = report.get("gate") or {}
+    contended = gate.get("contended")
+    if contended:
+        verdict = gate.get("breakeven_beats_lru")
+        lines.append(
+            f"contended cell: mix={contended['preset']} "
+            f"slots={contended['capacity']} "
+            f"(lru evictions={contended['lru_evictions']}) -- "
+            f"breakeven {gate.get('breakeven_break_even_seconds')}s vs "
+            f"lru {gate.get('lru_break_even_seconds')}s: "
+            + ("breakeven wins" if verdict else "breakeven does NOT win")
+        )
+    else:
+        lines.append("contended cell: none (no LRU evictions anywhere in grid)")
+    det = report.get("determinism") or {}
+    if det:
+        lines.append(
+            "determinism rerun: "
+            + ("bit-identical" if det.get("bit_identical") else "MISMATCH")
+        )
+    return "\n".join(lines)

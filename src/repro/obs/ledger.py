@@ -674,6 +674,28 @@ def render_manifest(manifest: dict) -> str:
             f"(virtual makespan {virt.get('makespan') or 0.0:.2f} s, "
             f"serial {virt.get('serial_seconds') or 0.0:.2f} s)",
         ]
+    mix = manifest.get("mix")
+    if mix:
+        gate = mix.get("gate") or {}
+        cell_count = sum(
+            len(caps)
+            for policies in (mix.get("cells") or {}).values()
+            for caps in policies.values()
+        )
+        verdict = gate.get("breakeven_beats_lru")
+        lines += [
+            "",
+            f"mix:       {cell_count} cells, "
+            f"{mix.get('events', 0)} events/trace, "
+            f"contended {gate.get('contended_preset') or '-'}"
+            f"/c{gate.get('contended_capacity') or 0}, "
+            "breakeven-vs-lru "
+            + (
+                "wins"
+                if verdict
+                else ("LOSES" if verdict is not None else "-")
+            ),
+        ]
     whatif_check = (manifest.get("whatif") or {}).get("check")
     if whatif_check:
         flagged = whatif_check.get("flagged", 0)

@@ -66,6 +66,12 @@ DEFAULT_TOLERANCES: tuple[tuple[str, float | None], ...] = (
     ("serve.*wall*", None),
     ("serve.*inflight*", None),
     ("serve.*comparison*", None),
+    # Slot telemetry sums over *completed* requests, so it inherits the
+    # admission counts' scheduling noise under backpressure.
+    ("serve.*slots*", None),
+    ("serve.*cross_app*", None),
+    ("metrics.counters.slots.*", None),
+    ("metrics.counters.store.cross_app_hits", None),
     ("serve.*cad_implementations*", None),
     ("metrics.counters.serve.*", None),
     # SLO evaluations (the daemon's live summary and the block `repro slo`
@@ -74,6 +80,14 @@ DEFAULT_TOLERANCES: tuple[tuple[str, float | None], ...] = (
     # break_even_p95 objective's budget cells are measured, not modelled.
     ("serve.*slo*", None),
     ("slo.*", None),
+    # Fleet-mix grid (repro mix): the candidate-search wall time is
+    # excluded from every charged overhead, so the mix break-even cells
+    # are fully virtual-clock and bit-identical — gate them exactly,
+    # ahead of the looser "*break_even*" band below. Only the grid's own
+    # wall clock is measured, hence informational.
+    ("mix.*wall*", None),
+    ("mix.*break_even*", 1e-9),
+    ("whatif.mix.*", 1e-9),
     # Break-even folds the measured search milliseconds into a
     # minutes-scale modelled overhead: deterministic to ~1e-6 relative,
     # so gate it loosely enough to absorb that jitter.
@@ -281,6 +295,12 @@ def flatten_cells(manifest: dict) -> dict[str, float]:
     # and fall to the exact catch-all; the measured dispatch costs, wall
     # clock and sampler stats carry vm.* info tolerances above.
     walk("vm", manifest.get("vm") or {})
+
+    # Fleet-mix block (repro mix --ledger): nested dicts all the way down
+    # (mix.cells.<preset>.<policy>.c<NN>.<metric>), so the generic walk
+    # covers it. Virtual-clock cells gate exactly; mix.*wall* cells carry
+    # the info tolerance above.
+    walk("mix", manifest.get("mix") or {})
     return cells
 
 
@@ -461,7 +481,7 @@ def compare_manifests(
     # failing on appeared/disappeared cells.
     onesided_blocks = [
         block
-        for block in ("critpath", "whatif")
+        for block in ("critpath", "whatif", "mix")
         if bool(baseline.get(block)) != bool(current.get(block))
     ]
     resolved += [(f"{block}.*", None) for block in onesided_blocks]

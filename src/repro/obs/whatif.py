@@ -498,6 +498,171 @@ def grid_block(trace_grid, check: GridCheck, workers: int = 1) -> dict:
     }
 
 
+# -- fleet-mix what-if replay --------------------------------------------------
+def whatif_mix(
+    mix_block: dict,
+    slots: int | None = None,
+    policy: str | None = None,
+    store_root=None,
+) -> dict:
+    """Replay a recorded fleet-mix grid under different slot counts/policies.
+
+    *mix_block* is the ``mix`` block of a ``repro mix --ledger`` manifest.
+    The traces are rebuilt bit-identically from the recorded (preset,
+    events, seed) triple, the specialization profiles are re-derived from
+    the app registry, and every requested cell re-simulates on the
+    virtual clock. With no overrides the recorded grid replays as-is; the
+    first recorded cell doubles as an **identity check** — its replayed
+    fleet break-even must match the recorded value exactly, proving the
+    replay runs the same simulation the manifest recorded.
+
+    Returns a nested-dict report safe to attach as ``whatif.mix`` (every
+    numeric cell is virtual-clock deterministic; gated at 1e-9).
+    """
+    import os
+    import shutil
+    import tempfile
+
+    from repro.mix.profiles import build_app_profiles
+    from repro.mix.simulator import simulate_cell
+    from repro.mix.trace import build_trace, preset_config
+
+    recorded_cells = mix_block.get("cells") or {}
+    if not recorded_cells:
+        raise ValueError("manifest mix block has no recorded cells")
+    events = int(mix_block["events"])
+    seed = int(mix_block["seed"])
+    presets = list(recorded_cells)
+    recorded_policies = list(next(iter(recorded_cells.values())))
+    recorded_caps = sorted(
+        int(ckey.lstrip("c"))
+        for ckey in next(iter(next(iter(recorded_cells.values())).values()))
+    )
+    policies = [policy] if policy else recorded_policies
+    capacities = [slots] if slots else recorded_caps
+
+    owns_store = store_root is None
+    if owns_store:
+        store_root = tempfile.mkdtemp(prefix="repro-whatif-mix-")
+    try:
+        profiles = build_app_profiles()
+        traces = {
+            preset: build_trace(preset_config(preset, events=events, seed=seed))
+            for preset in presets
+        }
+
+        def cell(preset: str, pol: str, cap: int) -> dict:
+            result = simulate_cell(
+                profiles,
+                traces[preset],
+                pol,
+                cap,
+                os.path.join(store_root, f"{preset}-{pol}-{cap}"),
+                mix_name=preset,
+            ).as_dict()
+            return {
+                "fleet_break_even_seconds": result["fleet_break_even_seconds"],
+                "mean_occupancy_pct": result["mean_occupancy_pct"],
+                "slot_loads": result["slots"]["loads"],
+                "slot_reloads": result["slots"]["reloads"],
+                "slot_evictions": result["slots"]["evictions"],
+                "cross_app_hits": result["store"]["cross_app_hits"],
+            }
+
+        # Identity check against the first recorded cell.
+        id_preset = presets[0]
+        id_policy = recorded_policies[0]
+        id_ckey = next(iter(recorded_cells[id_preset][id_policy]))
+        id_cap = int(id_ckey.lstrip("c"))
+        recorded_be = recorded_cells[id_preset][id_policy][id_ckey][
+            "fleet_break_even_seconds"
+        ]
+        replayed_be = cell(id_preset, id_policy, id_cap)[
+            "fleet_break_even_seconds"
+        ]
+        identity = {
+            "preset_policy_capacity": f"{id_preset}/{id_policy}/{id_cap}",
+            "recorded_break_even_seconds": recorded_be,
+            "replayed_break_even_seconds": replayed_be,
+            "identical": replayed_be == recorded_be,
+        }
+
+        cells: dict = {}
+        for preset in presets:
+            for pol in policies:
+                for cap in capacities:
+                    replayed = cell(preset, pol, cap)
+                    recorded = (
+                        recorded_cells.get(preset, {})
+                        .get(pol, {})
+                        .get(f"c{cap:02d}")
+                    )
+                    if recorded is not None:
+                        replayed["recorded_break_even_seconds"] = recorded[
+                            "fleet_break_even_seconds"
+                        ]
+                    cells.setdefault(preset, {}).setdefault(pol, {})[
+                        f"c{cap:02d}"
+                    ] = replayed
+    finally:
+        if owns_store:
+            shutil.rmtree(store_root, ignore_errors=True)
+
+    return {
+        "events": events,
+        "seed": seed,
+        "overrides": {"slots": slots, "policy": policy},
+        "identity": identity,
+        "cells": cells,
+    }
+
+
+def render_whatif_mix(report: dict) -> str:
+    """Human-readable table for ``repro whatif --slots/--policy``."""
+    overrides = report.get("overrides") or {}
+    parts = []
+    if overrides.get("slots"):
+        parts.append(f"slots={overrides['slots']}")
+    if overrides.get("policy"):
+        parts.append(f"policy={overrides['policy']}")
+    table = Table(
+        columns=["mix", "policy", "slots", "evict", "reloads", "fleet-BE(s)", "recorded"],
+        title=(
+            "Fleet-mix what-if replay"
+            + (f" ({', '.join(parts)})" if parts else " (identity)")
+        ),
+    )
+    for preset, policies in report["cells"].items():
+        for pol, caps in policies.items():
+            for ckey in sorted(caps):
+                c = caps[ckey]
+                be = c["fleet_break_even_seconds"]
+                recorded = c.get("recorded_break_even_seconds")
+                table.add_row(
+                    [
+                        preset,
+                        pol,
+                        int(ckey.lstrip("c")),
+                        c["slot_evictions"],
+                        c["slot_reloads"],
+                        f"{be:.1f}" if be is not None else "-",
+                        f"{recorded:.1f}" if recorded is not None else "-",
+                    ]
+                )
+    lines = [table.render()]
+    identity = report.get("identity") or {}
+    lines.append(
+        f"identity check ({identity.get('preset_policy_capacity')}): "
+        + (
+            "replayed == recorded"
+            if identity.get("identical")
+            else "MISMATCH vs recorded manifest"
+        )
+    )
+    return "\n".join(lines)
+
+
+
 __all__ = [
     "DEFAULT_GRID_TOLERANCE",
     "WhatIfKnobs",
@@ -514,4 +679,6 @@ __all__ = [
     "scenario_block",
     "whatif_break_even",
     "whatif_grid",
+    "whatif_mix",
+    "render_whatif_mix",
 ]

@@ -127,6 +127,17 @@ class SpecializationServer:
         self._max_queue_depth = 0
         self._service_ewma = 0.5  # seconds; seeds the retry-after estimate
         self._records: list[dict] = []
+        # Fleet-wide UDI slot telemetry summed over completed requests
+        # (each request binds its implementations to its machine's slot
+        # pool); `repro top` renders occupancy and eviction rate from it.
+        self._slot_totals = {
+            "loads": 0,
+            "reloads": 0,
+            "hits": 0,
+            "evictions": 0,
+            "occupancy_pct_sum": 0.0,
+            "samples": 0,
+        }
 
         # Always-on latency histograms (independent of the global metrics
         # registry, so `repro top` works against an un-instrumented daemon).
@@ -500,7 +511,9 @@ class SpecializationServer:
                     counters
                 )
             return result
-        tenant_cache = self.store.tenant(request["tenant"])
+        tenant_cache = self.store.tenant(
+            request["tenant"], app=request["app"]
+        )
         with get_tracer().span(
             "serve.execute",
             tenant=request["tenant"],
@@ -536,6 +549,15 @@ class SpecializationServer:
                 self._tenant_requests.get(tenant, 0) + 1
             )
             tenant_count = self._tenant_requests[tenant]
+            slot_stats = (result or {}).get("slots")
+            if slot_stats:
+                totals = self._slot_totals
+                for key in ("loads", "reloads", "hits", "evictions"):
+                    totals[key] += slot_stats.get(key, 0)
+                totals["occupancy_pct_sum"] += slot_stats.get(
+                    "occupancy_pct", 0.0
+                )
+                totals["samples"] += 1
             self._service_ewma = 0.8 * self._service_ewma + 0.2 * service
             if len(self._records) < 100_000:
                 self._records.append(
@@ -615,6 +637,7 @@ class SpecializationServer:
             tenant_requests = dict(self._tenant_requests)
             max_depth = self._max_queue_depth
             inflight = self._inflight
+            slot_totals = dict(self._slot_totals)
         store_stats = self.store.stats()
         budget = self.config.tenant_budget
         tenants = {}
@@ -655,6 +678,29 @@ class SpecializationServer:
             "queue": {"depth": self._queue.qsize(), "max_depth": max_depth},
             "inflight": inflight,
             "dedup": {"saved": store_stats.get("dedup_saved", 0)},
+            "cross_app_hits": store_stats.get("cross_app_hits", 0),
+            "slots": {
+                "loads": slot_totals["loads"],
+                "reloads": slot_totals["reloads"],
+                "hits": slot_totals["hits"],
+                "evictions": slot_totals["evictions"],
+                "eviction_rate": (
+                    round(
+                        slot_totals["evictions"] / slot_totals["loads"], 6
+                    )
+                    if slot_totals["loads"]
+                    else 0.0
+                ),
+                "mean_occupancy_pct": (
+                    round(
+                        slot_totals["occupancy_pct_sum"]
+                        / slot_totals["samples"],
+                        3,
+                    )
+                    if slot_totals["samples"]
+                    else 0.0
+                ),
+            },
             "tenants": tenants,
             "latency": {
                 "queue_wait": hist(self.queue_wait_hist),

@@ -18,6 +18,20 @@ equal candidates. Two mechanisms generalize the
   exactly what a serial arrival order would produce (1 miss + N-1 hits);
   the deduplicated CAD runs are counted separately as ``dedup_saved``.
 
+Within a tenant namespace, entry keys are already **canonical**:
+:meth:`repro.core.cache.PersistentBitstreamCache.key_for` hashes the
+candidate's structural signature (opcodes, types, wiring — nothing
+application-specific), so structurally-equal subgraphs from *different
+applications of the same tenant* map to one entry. The store proves the
+sharing happens: :meth:`tenant` accepts the requesting application's
+name, the first application to store a key is recorded as its owner, and
+every hit served to a different application increments
+``cross_app_hits`` (and the ``store.cross_app_hits`` metric) — the
+fleet-mix simulator's evidence that one CAD run serves many apps.
+Cross-*tenant* sharing stays off by design: a tenant's candidate
+signatures leak its code structure, so isolation is a correctness
+property.
+
 A :class:`TenantCache` implements the ``key_for / contains / get / put``
 protocol that :class:`repro.core.asip_sp.AsipSpecializationProcess`
 expects of its ``bitstream_cache``, so the specialization pipeline plugs
@@ -80,10 +94,18 @@ class SharedBitstreamStore:
         self._tenants: dict[str, PersistentBitstreamCache] = {}
         self._flights: dict[tuple[str, str], _Flight] = {}
         self.dedup_saved = 0
+        #: First application to store each (tenant, key) — in-memory, like
+        #: ``dedup_saved``: attribution is per store lifetime.
+        self._key_owners: dict[tuple[str, str], str] = {}
+        self.cross_app_hits = 0
 
     # -- tenants -------------------------------------------------------------
-    def tenant(self, name: str) -> "TenantCache":
-        """The (created-on-first-use) namespace view for one tenant."""
+    def tenant(self, name: str, app: str | None = None) -> "TenantCache":
+        """The (created-on-first-use) namespace view for one tenant.
+
+        *app* attributes this view's lookups to an application, enabling
+        the cross-application sharing counter.
+        """
         name = validate_tenant(name)
         with self._lock:
             cache = self._tenants.get(name)
@@ -93,7 +115,7 @@ class SharedBitstreamStore:
                     max_entries=self.tenant_budget,
                 )
                 self._tenants[name] = cache
-            return TenantCache(store=self, name=name, cache=cache)
+            return TenantCache(store=self, name=name, cache=cache, app=app)
 
     def tenant_names(self) -> list[str]:
         with self._lock:
@@ -161,6 +183,29 @@ class SharedBitstreamStore:
         if registry.enabled:
             registry.counter("serve.dedup.saved").inc()
 
+    # -- cross-application attribution ---------------------------------------
+    def _note_store(self, tenant: str, key: str, app: str | None) -> None:
+        """Record the first application to store a (tenant, key) entry."""
+        if app is None:
+            return
+        with self._lock:
+            self._key_owners.setdefault((tenant, key), app)
+
+    def _note_hit(self, tenant: str, key: str, app: str | None) -> None:
+        """Count a hit served to a different application than the owner."""
+        if app is None:
+            return
+        with self._lock:
+            owner = self._key_owners.get((tenant, key))
+            if owner is None or owner == app:
+                return
+            self.cross_app_hits += 1
+        from repro.obs import get_metrics
+
+        registry = get_metrics()
+        if registry.enabled:
+            registry.counter("store.cross_app_hits").inc()
+
     # -- accounting ----------------------------------------------------------
     def stats(self) -> dict:
         """Per-tenant and combined statistics (JSON-safe)."""
@@ -170,10 +215,12 @@ class SharedBitstreamStore:
             }
             dedup = self.dedup_saved
             inflight = len(self._flights)
+            cross_app = self.cross_app_hits
         return {
             "root": str(self.root),
             "tenant_budget": self.tenant_budget,
             "dedup_saved": dedup,
+            "cross_app_hits": cross_app,
             "flights_inflight": inflight,
             "tenants": tenants,
         }
@@ -203,6 +250,8 @@ class SharedBitstreamStore:
                 totals[key] += stats.get(key, 0)
         lookups = totals["hits"] + totals["misses"]
         totals["hit_rate"] = round(totals["hits"] / lookups, 6) if lookups else 0.0
+        with self._lock:
+            totals["cross_app_hits"] = self.cross_app_hits
         return totals
 
 
@@ -218,6 +267,9 @@ class TenantCache:
     store: SharedBitstreamStore
     name: str
     cache: PersistentBitstreamCache
+    #: Requesting application, for cross-app sharing attribution (None =
+    #: unattributed, e.g. the batch pipeline).
+    app: str | None = None
 
     def key_for(self, candidate, device, **kwargs) -> str:
         return PersistentBitstreamCache.key_for(candidate, device, **kwargs)
@@ -241,6 +293,7 @@ class TenantCache:
                     if impl is not None:
                         if waited:
                             self.store._count_dedup()
+                        self.store._note_hit(self.name, key, self.app)
                         return impl
                     # contains() raced a corrupt entry: fall through and
                     # compete to build.
@@ -267,6 +320,7 @@ class TenantCache:
     def put(self, key: str, impl) -> None:
         with self.store._lock:
             self.cache.put(key, impl)
+        self.store._note_store(self.name, key, self.app)
         self.store._resolve(self.name, key)
 
     def stats(self) -> dict:

@@ -2,8 +2,10 @@
 
 The serving counterpart of the paper's Table II/III breakdowns: instead
 of a post-hoc per-stage table, an operator watches the daemon's request
-counters, queue depth, per-tenant cache hit rates, and the p50/p95/p99
-break-even quantiles update in place. Rendering consumes the ``stats``
+counters, queue depth, UDI slot occupancy and eviction rate (summed over
+the ``slots.*`` telemetry of completed requests), cross-application
+store hits, per-tenant cache hit rates, and the p50/p95/p99 break-even
+quantiles update in place. Rendering consumes the ``stats``
 protocol op (:mod:`repro.serve.protocol`), so it works against any live
 daemon — instrumented or not; with the daemon's metrics registry
 enabled, the full snapshot is appended via
@@ -44,7 +46,13 @@ def render_stats(stats: dict, metrics: dict | None = None) -> str:
         f"queue {queue_info.get('depth', 0)}/{config.get('queue_depth')} "
         f"(max {queue_info.get('max_depth', 0)})   "
         f"inflight {stats.get('inflight', 0)}",
-        f"dedup saved {((stats.get('dedup') or {}).get('saved', 0))} CAD runs",
+        f"dedup saved {((stats.get('dedup') or {}).get('saved', 0))} CAD runs, "
+        f"{stats.get('cross_app_hits', 0)} cross-app store hits",
+        f"slots: {((stats.get('slots') or {}).get('loads', 0))} loads "
+        f"({((stats.get('slots') or {}).get('reloads', 0))} reloads), "
+        f"{((stats.get('slots') or {}).get('evictions', 0))} evictions "
+        f"(rate {((stats.get('slots') or {}).get('eviction_rate', 0.0)):.2f}), "
+        f"occupancy {((stats.get('slots') or {}).get('mean_occupancy_pct', 0.0)):.1f}%",
         "",
         f"{'latency':<22}{'p50':>10}{'p95':>10}{'p99':>10}{'count':>8}",
     ]

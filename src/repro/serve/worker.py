@@ -150,6 +150,26 @@ def execute_specialize(request: dict, bitstream_cache) -> dict:
     report = process.run(ctx.module, ctx.train)
     speedup = machine.speedup(ctx.module, ctx.train, report.search.selected)
 
+    # Bind the implemented configurations to the machine's UDI slots (one
+    # per structural signature, as the APU decodes them): under a --slots
+    # budget this exercises the eviction policy and yields the slots.*
+    # occupancy/eviction telemetry `repro top` renders per daemon.
+    sig_ids: dict[int, int] = {}
+    for ci in report.implementations:
+        cand = ci.estimate.candidate
+        sid = sig_ids.setdefault(cand.signature, len(sig_ids))
+        if machine.slots.is_loaded(sid):
+            machine.slots.touch(sid)
+            continue
+        count = ctx.train.count_of(cand.function, cand.block)
+        machine.slots.load(
+            sid,
+            cand.signature,
+            ci.implementation.bitstream,
+            value=max(0.0, ci.estimate.cycles_saved) * count,
+            owner=request["app"],
+        )
+
     # Effective overhead: cache hits contribute no generation time
     # (Section VI-A's accounting); shared-in-request duplicates keep the
     # paper's every-candidate charge, as in batch mode.
@@ -177,6 +197,7 @@ def execute_specialize(request: dict, bitstream_cache) -> dict:
         "toolflow_seconds": round(report.toolflow_seconds, 6),
         "effective_overhead_seconds": round(effective_overhead, 6),
         "break_even_seconds": round(be, 6) if isfinite(be) else None,
+        "slots": machine.slots.stats(),
     }
 
 

@@ -12,7 +12,12 @@ how much faster does the application run than on the plain CPU?
 
 from repro.woolcano.cpu import PowerPC405
 from repro.woolcano.apu import FcbInterface, DEFAULT_FCB
-from repro.woolcano.slots import CustomInstructionSlots, SlotError
+from repro.woolcano.slots import (
+    EVICTION_POLICIES,
+    CustomInstructionSlots,
+    LoadedInstruction,
+    SlotError,
+)
 from repro.woolcano.reconfig import IcapModel, ReconfigurationEvent
 from repro.woolcano.machine import WoolcanoMachine, WoolcanoCostModel, AsipSpeedup
 
@@ -21,6 +26,8 @@ __all__ = [
     "FcbInterface",
     "DEFAULT_FCB",
     "CustomInstructionSlots",
+    "LoadedInstruction",
+    "EVICTION_POLICIES",
     "SlotError",
     "IcapModel",
     "ReconfigurationEvent",

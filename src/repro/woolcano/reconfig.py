@@ -40,13 +40,22 @@ class IcapModel:
     def bytes_per_second(self) -> float:
         return self.bus_width_bytes * self.clock_hz * self.efficiency
 
-    def reconfigure(self, custom_id: int, bitstream: PartialBitstream) -> ReconfigurationEvent:
+    def reconfigure(
+        self,
+        custom_id: int,
+        bitstream: PartialBitstream,
+        reason: str = "load",
+    ) -> ReconfigurationEvent:
+        """Write one partial bitstream; *reason* distinguishes a first
+        load from a reload forced by a slot eviction (the repeated ICAP
+        cost the mix simulator charges against the fleet break-even)."""
         seconds = self.setup_seconds + bitstream.size_bytes / self.bytes_per_second
         span = get_tracer().event(
             "icap.reconfigure",
             custom_id=custom_id,
             bytes=bitstream.size_bytes,
             virtual_seconds=seconds,
+            reason=reason,
         )
         log = get_log()
         if log.enabled:
@@ -56,12 +65,15 @@ class IcapModel:
                 custom_id=custom_id,
                 bytes=bitstream.size_bytes,
                 virtual_seconds=round(seconds, 9),
+                reason=reason,
             )
         registry = get_metrics()
         if registry.enabled:
             registry.counter("icap.reconfigurations").inc()
             registry.counter("icap.bytes_written").inc(bitstream.size_bytes)
             registry.histogram("icap.seconds").observe(seconds)
+            if reason == "reload":
+                registry.counter("icap.reloads").inc()
         return ReconfigurationEvent(
             custom_id=custom_id,
             bytes_written=bitstream.size_bytes,
